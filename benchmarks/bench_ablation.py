@@ -1,0 +1,41 @@
+"""Benchmarks for the design-choice ablations called out in DESIGN.md.
+
+Each case measures the full mapper with one ingredient toggled on a mid-size
+configuration (backprop on 5x5), so the cost/benefit of the paper's
+capacity/connectivity constraints, the all-pairs MRRG time adjacency and the
+torus symmetry seeding can be compared from the benchmark report.
+"""
+
+import pytest
+
+from repro.arch.mrrg import TimeAdjacency
+from repro.core.config import MapperConfig
+from repro.core.mapper import MonomorphismMapper
+from repro.experiments.ablation import VARIANTS
+from repro.experiments.runner import build_cgra
+from repro.workloads.suite import load_benchmark
+
+from conftest import BENCH_TIMEOUT_SECONDS
+
+BENCHMARK_NAME = "backprop"
+SIZE = "5x5"
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_ablation_variant(benchmark, variant):
+    dfg = load_benchmark(BENCHMARK_NAME)
+    cgra = build_cgra(SIZE)
+    config = MapperConfig(
+        time_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+        space_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+        total_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+        **VARIANTS[variant],
+    )
+
+    def compile_once():
+        return MonomorphismMapper(cgra, config).map(dfg)
+
+    result = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["ii"] = result.ii
+    benchmark.extra_info["schedules_tried"] = result.schedules_tried

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating paper Table I and Table II.
+
+The quantities themselves (ASAP/ALAP/MobS and the KMS of the running
+example) are checked against the paper inside the benchmark body, so this
+doubles as a regression check while measuring the analysis cost.
+"""
+
+from repro.experiments.table1_table2 import (
+    PAPER_TABLE1,
+    build_table1,
+    build_table2,
+)
+from repro.graphs.analysis import mobility_schedule
+from repro.graphs.kms import KernelMobilitySchedule
+from repro.workloads.running_example import running_example_dfg
+
+
+def test_table1_mobility_schedule(benchmark):
+    """Table I: ASAP / ALAP / Mobility Schedule of the running example."""
+
+    def build():
+        dfg = running_example_dfg()
+        mobs = mobility_schedule(dfg)
+        return mobs.asap_rows(), mobs.alap_rows(), mobs.rows()
+
+    asap, alap, mobs = benchmark(build)
+    assert asap == PAPER_TABLE1["asap"]
+    assert alap == PAPER_TABLE1["alap"]
+    assert mobs == PAPER_TABLE1["mobs"]
+
+
+def test_table1_rendering(benchmark):
+    """Rendering of the full Table I comparison (paper vs measured)."""
+    table = benchmark(build_table1)
+    assert all(match == "yes" for match in table.column("match"))
+
+
+def test_table2_kernel_mobility_schedule(benchmark):
+    """Table II: KMS obtained by folding the MobS with II = 4."""
+
+    def build():
+        dfg = running_example_dfg()
+        return KernelMobilitySchedule(mobility_schedule(dfg), ii=4)
+
+    kms = benchmark(build)
+    assert kms.num_foldings == 2
+    assert len(kms.rows()) == 4
+
+
+def test_table2_rendering(benchmark):
+    table = benchmark(build_table2, 4)
+    assert len(table) == 4

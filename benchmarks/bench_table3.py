@@ -1,0 +1,85 @@
+"""Benchmarks regenerating paper Table III.
+
+One benchmark case per (benchmark, CGRA size, approach). The measured value
+is the compilation time of a single mapper run -- exactly what the paper's
+Table III reports. The decoupled mapper is run on the two extreme sizes (2x2
+and 20x20, the paper's smallest and largest arrays) for all 17 loops; the
+coupled SAT-MapIt-style baseline is run on 2x2 and 5x5 for the loops it can
+finish within the laptop-scale budget (on the larger arrays the coupled
+formula explodes, which is the paper's point -- those cases are summarised by
+``bench_fig5.py`` instead).
+
+The II quality claim (decoupled == coupled where both finish) is asserted in
+the baseline cases.
+"""
+
+import pytest
+
+from repro.core.config import BaselineConfig, MapperConfig
+from repro.core.mapper import MonomorphismMapper
+from repro.baseline.satmapit import SatMapItMapper
+from repro.experiments.runner import build_cgra
+from repro.workloads.suite import benchmark_names, load_benchmark, spec
+
+from conftest import BENCH_TIMEOUT_SECONDS
+
+ALL_BENCHMARKS = benchmark_names()
+
+#: Loops whose coupled (baseline) instance stays small enough for seconds-long
+#: budgets; the remaining ones time out on every laptop-scale budget.
+BASELINE_FRIENDLY = ["bitcount", "susan", "lud", "fft", "crc32", "sha1",
+                     "gsm", "basicmath", "sha2", "stringsearch"]
+
+
+def _decoupled_config() -> MapperConfig:
+    return MapperConfig(
+        time_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+        space_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+        total_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+    )
+
+
+def _baseline_config() -> BaselineConfig:
+    return BaselineConfig(
+        timeout_seconds=BENCH_TIMEOUT_SECONDS,
+        total_timeout_seconds=BENCH_TIMEOUT_SECONDS,
+    )
+
+
+@pytest.mark.parametrize("size", ["2x2", "20x20"])
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_monomorphism_mapper(benchmark, name, size):
+    """Decoupled mapper compilation time (Table III 'Monomorphism' columns)."""
+    dfg = load_benchmark(name)
+    cgra = build_cgra(size)
+
+    def compile_once():
+        return MonomorphismMapper(cgra, _decoupled_config()).map(dfg)
+
+    result = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["ii"] = result.ii
+    benchmark.extra_info["mii"] = result.mii
+    benchmark.extra_info["paper_ii"] = spec(name).paper_ii[size]
+    if result.success:
+        assert result.ii >= result.mii
+
+
+@pytest.mark.parametrize("size", ["2x2", "5x5"])
+@pytest.mark.parametrize("name", BASELINE_FRIENDLY)
+def test_satmapit_baseline(benchmark, name, size):
+    """Coupled baseline compilation time (Table III 'SAT-MapIt' column)."""
+    dfg = load_benchmark(name)
+    cgra = build_cgra(size)
+
+    def compile_once():
+        return SatMapItMapper(cgra, _baseline_config()).map(dfg)
+
+    result = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    benchmark.extra_info["status"] = result.status.value
+    benchmark.extra_info["ii"] = result.ii
+    if result.success:
+        decoupled = MonomorphismMapper(cgra, _decoupled_config()).map(dfg)
+        if decoupled.success:
+            # the paper's quality-parity claim
+            assert decoupled.ii <= result.ii

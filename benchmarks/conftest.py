@@ -1,0 +1,23 @@
+"""Configuration shared by the benchmark harness.
+
+Every paper exhibit (Table I, Table II, Table III, Fig. 5) has a bench module
+here; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each case is executed once (``pedantic`` mode) because a single mapper run is
+already the quantity the paper reports; the per-case timeout keeps the whole
+harness at laptop scale (the paper used a 4000 s budget per case).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Per-case compilation budget used throughout the harness (seconds).
+BENCH_TIMEOUT_SECONDS = 12.0
+
+
+@pytest.fixture(scope="session")
+def bench_timeout() -> float:
+    return BENCH_TIMEOUT_SECONDS

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Scalability sweep (a small-scale version of the paper's Fig. 5).
+
+Maps one benchmark onto increasingly large CGRAs with both the decoupled
+monomorphism mapper and the SAT-MapIt-style coupled baseline, and prints the
+compilation times side by side. The decoupled times stay roughly flat while
+the coupled times grow quickly with the array size -- the paper's headline
+scalability result.
+
+Run with::
+
+    python examples/scalability_sweep.py [benchmark] [timeout_seconds]
+"""
+
+import sys
+
+from repro.experiments.fig5 import fig5_table, run_fig5
+from repro.reporting.figures import render_line_chart
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    timeout = float(sys.argv[2]) if len(sys.argv) > 2 else 20.0
+    sizes = ["2x2", "4x4", "6x6", "8x8"]
+
+    print(f"benchmark: {benchmark}, sizes: {', '.join(sizes)}, "
+          f"timeout per case: {timeout:.0f}s")
+    data = run_fig5(benchmark=benchmark, sizes=sizes, timeout_seconds=timeout)
+    print()
+    print(fig5_table(data).render())
+    print()
+    measured_only = data["series"][:2]  # skip the paper series for odd sizes
+    print(render_line_chart(
+        measured_only,
+        title=f"compilation time vs CGRA size ({benchmark})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro -- Monomorphism-based CGRA mapping via space and time decoupling.
+
+A self-contained reproduction of the DATE 2025 paper by Tirelli, Otoni and
+Pozzi. The package provides:
+
+* a CGRA architecture model and its time-expanded MRRG (:mod:`repro.arch`),
+* DFG data structures and modulo-scheduling analysis (:mod:`repro.graphs`),
+* a SAT/SMT solving substrate (:mod:`repro.smt`),
+* a monomorphism search engine (:mod:`repro.matching`),
+* the decoupled space/time mapper (:mod:`repro.core`),
+* a SAT-MapIt-style coupled baseline (:mod:`repro.baseline`),
+* a loop-kernel front-end that extracts DFGs from source text
+  (:mod:`repro.frontend`),
+* the paper's benchmark workloads (:mod:`repro.workloads`),
+* cycle-level simulators validating mappings end-to-end (:mod:`repro.sim`),
+* experiment drivers regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CGRA, MonomorphismMapper, load_benchmark
+
+    cgra = CGRA(4, 4)
+    result = MonomorphismMapper(cgra).map(load_benchmark("bitcount"))
+    print(result.summary())
+    print(result.mapping.render_kernel())
+"""
+
+from repro.arch import CGRA, MRRG, Opcode, TimeAdjacency, Topology
+from repro.core import (
+    MapperConfig,
+    Mapping,
+    MappingResult,
+    MappingStatus,
+    MonomorphismMapper,
+    Schedule,
+    validate_mapping,
+)
+from repro.graphs import DFG, DependenceKind, min_ii, rec_ii, res_ii
+from repro.workloads import load_benchmark, benchmark_names, running_example_dfg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGRA",
+    "MRRG",
+    "Opcode",
+    "TimeAdjacency",
+    "Topology",
+    "MapperConfig",
+    "Mapping",
+    "MappingResult",
+    "MappingStatus",
+    "MonomorphismMapper",
+    "Schedule",
+    "validate_mapping",
+    "DFG",
+    "DependenceKind",
+    "min_ii",
+    "rec_ii",
+    "res_ii",
+    "load_benchmark",
+    "benchmark_names",
+    "running_example_dfg",
+    "__version__",
+]

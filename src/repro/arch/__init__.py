@@ -1,0 +1,33 @@
+"""CGRA architecture model.
+
+This subpackage models the hardware substrate targeted by the mapper:
+
+* :mod:`repro.arch.isa` -- the operation set supported by a PE's ALU,
+  with latency and arity metadata.
+* :mod:`repro.arch.pe` -- a single Processing Element and its register file.
+* :mod:`repro.arch.topology` -- interconnect topologies (open mesh, torus).
+* :mod:`repro.arch.cgra` -- the 2D CGRA array (the spatial graph).
+* :mod:`repro.arch.mrrg` -- the Modulo Routing Resource Graph, i.e. ``II``
+  stacked copies of the CGRA linked by time adjacencies (paper Sec. IV-A).
+"""
+
+from repro.arch.isa import Opcode, OPCODE_INFO, latency, arity, is_memory_op
+from repro.arch.pe import ProcessingElement, RegisterFile
+from repro.arch.topology import Topology, grid_neighbors
+from repro.arch.cgra import CGRA
+from repro.arch.mrrg import MRRG, TimeAdjacency
+
+__all__ = [
+    "Opcode",
+    "OPCODE_INFO",
+    "latency",
+    "arity",
+    "is_memory_op",
+    "ProcessingElement",
+    "RegisterFile",
+    "Topology",
+    "grid_neighbors",
+    "CGRA",
+    "MRRG",
+    "TimeAdjacency",
+]

@@ -1,0 +1,176 @@
+"""The CGRA array: a 2D grid of PEs plus its spatial interconnect graph.
+
+This is the *spatial* half of the mapping problem. The temporal expansion
+(``II`` stacked copies of this graph) lives in :mod:`repro.arch.mrrg`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.arch.isa import DEFAULT_PE_OPERATIONS, Opcode
+from repro.arch.pe import ProcessingElement
+from repro.arch.topology import Topology, grid_neighbors, uniform_degree
+
+
+class CGRA:
+    """A rows x cols Coarse-Grain Reconfigurable Array.
+
+    PEs are indexed in row-major order. The spatial graph has one vertex per
+    PE and an undirected edge between PEs that can exchange data through the
+    interconnect; in the architecture assumed by the paper a PE can also read
+    its *own* register file, which is modelled by the "adjacent or self"
+    relation (:meth:`adjacent_or_self`) and by the self-loop counted in the
+    connectivity degree ``D_M`` (paper Sec. IV-A).
+
+    Args:
+        rows, cols: grid dimensions (both >= 1, at least 2 PEs total).
+        topology: interconnect topology; the default torus matches the
+            paper's uniform-degree assumption (``D_M`` = 3 for 2x2, 5 for
+            3x3 and larger).
+        register_file_size: per-PE register file capacity.
+        operations: ISA subset supported by every PE (homogeneous array).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        topology: Topology = Topology.TORUS,
+        register_file_size: int = 32,
+        operations: Optional[Iterable[Opcode]] = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("CGRA dimensions must be positive")
+        if rows * cols < 2:
+            raise ValueError("a CGRA needs at least 2 PEs")
+        self.rows = rows
+        self.cols = cols
+        self.topology = topology
+        self.register_file_size = register_file_size
+        ops: FrozenSet[Opcode] = (
+            frozenset(operations) if operations is not None else DEFAULT_PE_OPERATIONS
+        )
+        self._pes: List[ProcessingElement] = [
+            ProcessingElement(
+                index=r * cols + c,
+                row=r,
+                col=c,
+                operations=ops,
+                register_file_size=register_file_size,
+            )
+            for r in range(rows)
+            for c in range(cols)
+        ]
+        self._neighbors: List[FrozenSet[int]] = []
+        for pe in self._pes:
+            positions = grid_neighbors(rows, cols, pe.row, pe.col, topology)
+            self._neighbors.append(
+                frozenset(r * cols + c for (r, c) in positions)
+            )
+        self._neighbors_or_self: List[FrozenSet[int]] = [
+            self._neighbors[i] | {i} for i in range(len(self._pes))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pes(self) -> int:
+        """Number of PEs in the array (``|V_Mi|`` in the paper)."""
+        return len(self._pes)
+
+    @property
+    def pes(self) -> Sequence[ProcessingElement]:
+        return tuple(self._pes)
+
+    def pe(self, index: int) -> ProcessingElement:
+        return self._pes[index]
+
+    def pe_index(self, row: int, col: int) -> int:
+        """Linear (row-major) index of the PE at ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"({row}, {col}) outside a {self.rows}x{self.cols} CGRA")
+        return row * self.cols + col
+
+    def pe_position(self, index: int) -> Tuple[int, int]:
+        """Grid coordinates of PE ``index``."""
+        if not (0 <= index < self.num_pes):
+            raise ValueError(f"PE index {index} out of range")
+        return divmod(index, self.cols)
+
+    # ------------------------------------------------------------------ #
+    # Spatial adjacency
+    # ------------------------------------------------------------------ #
+    def neighbors(self, index: int) -> FrozenSet[int]:
+        """Indices of the PEs adjacent to PE ``index`` (self excluded)."""
+        return self._neighbors[index]
+
+    def neighbors_or_self(self, index: int) -> FrozenSet[int]:
+        """Indices of PEs whose register file PE ``index`` can read."""
+        return self._neighbors_or_self[index]
+
+    def adjacent(self, a: int, b: int) -> bool:
+        """True if distinct PEs ``a`` and ``b`` are connected."""
+        return b in self._neighbors[a]
+
+    def adjacent_or_self(self, a: int, b: int) -> bool:
+        """True if PE ``a`` can read data produced on PE ``b``."""
+        return a == b or b in self._neighbors[a]
+
+    @property
+    def connectivity_degree(self) -> int:
+        """The paper's ``D_M``: max neighbour count *including* the self-loop."""
+        return max(len(n) for n in self._neighbors) + 1
+
+    @property
+    def has_uniform_degree(self) -> bool:
+        """True if every PE has the same degree (required by the proof)."""
+        return uniform_degree(self.rows, self.cols, self.topology)
+
+    def degree(self, index: int) -> int:
+        """Connectivity degree of one PE, including its self-loop."""
+        return len(self._neighbors[index]) + 1
+
+    # ------------------------------------------------------------------ #
+    # Export / helpers
+    # ------------------------------------------------------------------ #
+    def spatial_graph(self) -> nx.Graph:
+        """The undirected PE interconnect graph (self-loops included)."""
+        graph = nx.Graph()
+        for pe in self._pes:
+            graph.add_node(pe.index, row=pe.row, col=pe.col)
+            graph.add_edge(pe.index, pe.index)
+        for pe in self._pes:
+            for other in self._neighbors[pe.index]:
+                graph.add_edge(pe.index, other)
+        return graph
+
+    def supports_everywhere(self, opcode: Opcode) -> bool:
+        """True if every PE of the array can execute ``opcode``."""
+        return all(pe.supports(opcode) for pe in self._pes)
+
+    @property
+    def size_label(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CGRA({self.rows}x{self.cols}, topology={self.topology}, "
+            f"D_M={self.connectivity_degree})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CGRA):
+            return NotImplemented
+        return (
+            self.rows == other.rows
+            and self.cols == other.cols
+            and self.topology == other.topology
+            and self.register_file_size == other.register_file_size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.cols, self.topology, self.register_file_size))

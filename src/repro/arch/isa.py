@@ -1,0 +1,169 @@
+"""Instruction set of a CGRA Processing Element.
+
+Every PE contains an ALU able to execute the operations below (paper Fig. 1).
+The mapper itself only needs latencies (for dependence distances in the
+schedule); the cycle-level simulator in :mod:`repro.sim` additionally needs
+arity and an evaluation function for each opcode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+
+class Opcode(enum.Enum):
+    """Operations supported by a PE ALU."""
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    NEG = "neg"
+    ABS = "abs"
+    MIN = "min"
+    MAX = "max"
+    MAC = "mac"  # multiply-accumulate: a * b + c
+    # Bitwise / shifts
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Comparisons (produce 0/1)
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Selection
+    SELECT = "select"  # cond ? a : b
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    # Pseudo operations
+    CONST = "const"  # literal constant materialisation
+    INPUT = "input"  # loop-invariant live-in value
+    INDUCTION = "induction"  # the loop induction variable
+    PHI = "phi"  # loop-carried merge (initial value / previous iteration)
+    OUTPUT = "output"  # live-out value (kept so sinks are observable)
+    ROUTE = "route"  # explicit routing copy (only used by ablations)
+    NOP = "nop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _div(a: int, b: int) -> int:
+    return 0 if b == 0 else int(a / b)
+
+
+def _rem(a: int, b: int) -> int:
+    return 0 if b == 0 else int(a - b * int(a / b))
+
+
+_MASK = (1 << 32) - 1
+
+
+def _shl(a: int, b: int) -> int:
+    return (a << (b & 31)) & _MASK
+
+
+def _shr(a: int, b: int) -> int:
+    return (a & _MASK) >> (b & 31)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static metadata for one opcode.
+
+    Attributes:
+        arity: number of value operands consumed from the DFG.
+        latency: cycles between issue and result availability (>= 1 for
+            every real operation; pseudo-ops keep latency 1 so that the
+            modulo-scheduling maths of the paper, which assumes unit
+            latencies, is reproduced by default).
+        evaluate: python evaluation used by the simulators, or ``None``
+            for operations with side effects handled specially (memory,
+            pseudo ops).
+    """
+
+    arity: int
+    latency: int = 1
+    evaluate: Optional[Callable[..., int]] = None
+
+
+OPCODE_INFO: Dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: OpcodeInfo(2, 1, lambda a, b: a + b),
+    Opcode.SUB: OpcodeInfo(2, 1, lambda a, b: a - b),
+    Opcode.MUL: OpcodeInfo(2, 1, lambda a, b: a * b),
+    Opcode.DIV: OpcodeInfo(2, 1, _div),
+    Opcode.REM: OpcodeInfo(2, 1, _rem),
+    Opcode.NEG: OpcodeInfo(1, 1, lambda a: -a),
+    Opcode.ABS: OpcodeInfo(1, 1, lambda a: abs(a)),
+    Opcode.MIN: OpcodeInfo(2, 1, lambda a, b: min(a, b)),
+    Opcode.MAX: OpcodeInfo(2, 1, lambda a, b: max(a, b)),
+    Opcode.MAC: OpcodeInfo(3, 1, lambda a, b, c: a * b + c),
+    Opcode.AND: OpcodeInfo(2, 1, lambda a, b: a & b),
+    Opcode.OR: OpcodeInfo(2, 1, lambda a, b: a | b),
+    Opcode.XOR: OpcodeInfo(2, 1, lambda a, b: a ^ b),
+    Opcode.NOT: OpcodeInfo(1, 1, lambda a: ~a),
+    Opcode.SHL: OpcodeInfo(2, 1, _shl),
+    Opcode.SHR: OpcodeInfo(2, 1, _shr),
+    Opcode.EQ: OpcodeInfo(2, 1, lambda a, b: int(a == b)),
+    Opcode.NE: OpcodeInfo(2, 1, lambda a, b: int(a != b)),
+    Opcode.LT: OpcodeInfo(2, 1, lambda a, b: int(a < b)),
+    Opcode.LE: OpcodeInfo(2, 1, lambda a, b: int(a <= b)),
+    Opcode.GT: OpcodeInfo(2, 1, lambda a, b: int(a > b)),
+    Opcode.GE: OpcodeInfo(2, 1, lambda a, b: int(a >= b)),
+    Opcode.SELECT: OpcodeInfo(3, 1, lambda c, a, b: a if c else b),
+    Opcode.LOAD: OpcodeInfo(1, 1, None),
+    Opcode.STORE: OpcodeInfo(2, 1, None),
+    Opcode.CONST: OpcodeInfo(0, 1, None),
+    Opcode.INPUT: OpcodeInfo(0, 1, None),
+    Opcode.INDUCTION: OpcodeInfo(0, 1, None),
+    Opcode.PHI: OpcodeInfo(1, 1, None),
+    Opcode.OUTPUT: OpcodeInfo(1, 1, lambda a: a),
+    Opcode.ROUTE: OpcodeInfo(1, 1, lambda a: a),
+    Opcode.NOP: OpcodeInfo(0, 1, None),
+}
+
+
+def latency(opcode: Opcode) -> int:
+    """Return the latency, in cycles, of ``opcode``."""
+    return OPCODE_INFO[opcode].latency
+
+
+def arity(opcode: Opcode) -> int:
+    """Return the number of value operands consumed by ``opcode``."""
+    return OPCODE_INFO[opcode].arity
+
+
+def is_memory_op(opcode: Opcode) -> bool:
+    """Return True for operations that access the shared data memory."""
+    return opcode in (Opcode.LOAD, Opcode.STORE)
+
+
+def evaluate(opcode: Opcode, operands: Sequence[int]) -> int:
+    """Evaluate a pure ALU opcode on integer operands.
+
+    Memory and pseudo operations are handled by the simulators directly and
+    raise ``ValueError`` here.
+    """
+    info = OPCODE_INFO[opcode]
+    if info.evaluate is None:
+        raise ValueError(f"opcode {opcode} cannot be evaluated as a pure ALU op")
+    if len(operands) != info.arity:
+        raise ValueError(
+            f"opcode {opcode} expects {info.arity} operands, got {len(operands)}"
+        )
+    return int(info.evaluate(*operands))
+
+
+DEFAULT_PE_OPERATIONS = frozenset(Opcode)
+"""By default every PE is homogeneous and supports the full ISA."""

@@ -1,0 +1,99 @@
+"""Processing Element and register file model.
+
+A PE (paper Fig. 1) contains an ALU, a flag register, and a register file.
+The architecture targeted by the paper has one important property that the
+whole decoupling idea relies on: *the register file of a PE can be read by
+its neighbouring PEs*. The mapper only needs the structural description kept
+here; dynamic state (register contents during execution) lives in
+:mod:`repro.sim.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.arch.isa import DEFAULT_PE_OPERATIONS, Opcode
+
+
+class RegisterFile:
+    """A small register file addressed by symbolic register names.
+
+    The simulator allocates one rotating register per (DFG node, copy) pair,
+    so the register file is modelled as a bounded symbolic store rather than
+    a numbered bank. ``capacity`` bounds the number of live registers; a
+    ``RegisterFileOverflow`` is raised when it is exceeded, which is how
+    register-pressure violations of a mapping surface during validation.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("register file capacity must be positive")
+        self.capacity = capacity
+        self._values: Dict[str, int] = {}
+
+    def write(self, name: str, value: int) -> None:
+        """Write ``value`` into register ``name`` (allocating it if new)."""
+        if name not in self._values and len(self._values) >= self.capacity:
+            raise RegisterFileOverflow(
+                f"register file overflow: capacity {self.capacity} exceeded"
+            )
+        self._values[name] = value
+
+    def read(self, name: str) -> int:
+        """Read register ``name``; raises ``KeyError`` if never written."""
+        return self._values[name]
+
+    def contains(self, name: str) -> bool:
+        return name in self._values
+
+    def free(self, name: str) -> None:
+        """Release a register that is no longer live."""
+        self._values.pop(name, None)
+
+    @property
+    def live_registers(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisterFile(capacity={self.capacity}, live={self.live_registers})"
+
+
+class RegisterFileOverflow(RuntimeError):
+    """Raised when a mapping needs more registers than a PE provides."""
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """Static description of one PE of the array.
+
+    Attributes:
+        index: linear index of the PE in row-major order.
+        row, col: grid coordinates.
+        operations: the subset of the ISA this PE can execute.
+        register_file_size: capacity of the local register file.
+    """
+
+    index: int
+    row: int
+    col: int
+    operations: FrozenSet[Opcode] = field(default=DEFAULT_PE_OPERATIONS)
+    register_file_size: int = 32
+
+    def supports(self, opcode: Opcode) -> bool:
+        """Return True if this PE's ALU can execute ``opcode``."""
+        return opcode in self.operations
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.row, self.col)
+
+    def make_register_file(self) -> RegisterFile:
+        """Instantiate a fresh (empty) register file for simulation."""
+        return RegisterFile(self.register_file_size)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PE{self.index}({self.row},{self.col})"

@@ -1,0 +1,14 @@
+"""SAT-MapIt-style coupled baseline mapper.
+
+The paper compares its decoupled approach against SAT-MapIt (Tirelli et al.,
+DATE 2023), which encodes placement and scheduling *jointly* over the MRRG
+and hands the whole formula to a SAT solver. :mod:`repro.baseline.satmapit`
+reimplements that strategy on top of the same SAT substrate used by the
+decoupled time phase, so the comparison isolates exactly what the paper
+studies: the cost of searching the coupled space-time space, which grows
+with the number of PEs, versus the decoupled search, which does not.
+"""
+
+from repro.baseline.satmapit import SatMapItMapper
+
+__all__ = ["SatMapItMapper"]

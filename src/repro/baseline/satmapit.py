@@ -1,0 +1,242 @@
+"""Coupled space-time mapping (SAT-MapIt-style baseline).
+
+For every candidate ``II`` (starting at ``mII``), a *single* SAT formula is
+built that simultaneously decides
+
+* the start time of every DFG node (same mobility windows and precedence
+  constraints as the decoupled time phase), and
+* the PE executing every node,
+
+with two families of coupling constraints:
+
+* **exclusivity** -- at most one operation per (kernel slot, PE) pair, and
+* **routability** -- the endpoints of every dependence are placed on
+  identical or adjacent PEs.
+
+The formula size therefore grows with ``nodes x II x PEs`` (the size of the
+MRRG), which is exactly the scalability bottleneck the paper attributes to
+SAT-MapIt: on large CGRAs the coupled encoding becomes huge and slow, while
+the decoupled mapper's formulas stay small. The baseline honours a
+per-``map()`` timeout, mirroring the paper's 4000 s experimental budget; the
+timeout also covers formula construction, which is part of the baseline's
+compilation time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.core.config import BaselineConfig
+from repro.core.mapper import MappingResult, MappingStatus
+from repro.core.mapping import Mapping
+from repro.core.time_solver import Schedule
+from repro.core.validation import assert_valid_mapping
+from repro.graphs.analysis import (
+    critical_path_length,
+    mobility_schedule,
+    rec_ii,
+    res_ii,
+)
+from repro.graphs.dfg import DFG
+from repro.smt.cnf import negate
+from repro.smt.csp import FiniteDomainProblem, IntVar
+from repro.smt.sat import SolveStatus
+
+
+class _EncodingTimeout(Exception):
+    """Internal: the timeout fired while the formula was being built."""
+
+
+class _CoupledEncoding:
+    """One coupled space-time SAT instance for a fixed ``II``."""
+
+    def __init__(
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        ii: int,
+        slack: int,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.dfg = dfg
+        self.cgra = cgra
+        self.ii = ii
+        self.deadline = deadline
+        self.slack = slack
+        needed = max(0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg))
+        self.mobs = mobility_schedule(dfg, slack=max(slack, needed))
+        self.problem = FiniteDomainProblem()
+        self.time_vars: Dict[int, IntVar] = {}
+        self.place_vars: Dict[int, IntVar] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise _EncodingTimeout()
+
+    def _build(self) -> None:
+        problem = self.problem
+        num_pes = self.cgra.num_pes
+        for node_id in self.dfg.node_ids():
+            self.time_vars[node_id] = problem.new_int(
+                f"t{node_id}", self.mobs.earliest(node_id), self.mobs.latest(node_id)
+            )
+            self.place_vars[node_id] = problem.new_int(f"p{node_id}", 0, num_pes - 1)
+        self._check_deadline()
+        self._add_precedence()
+        self._add_capacity()
+        self._add_exclusivity()
+        self._add_routability()
+
+    def _add_precedence(self) -> None:
+        """Modulo-scheduling precedence, identical to the decoupled phase."""
+        for edge in self.dfg.edges():
+            latency = self.dfg.node(edge.src).latency
+            src = self.time_vars[edge.src]
+            dst = self.time_vars[edge.dst]
+            self.problem.add_ge(dst, src, latency - edge.distance * self.ii)
+
+    def _slot_literal(self, node_id: int, slot: int):
+        return self.problem.mod_indicator(self.time_vars[node_id], self.ii, slot)
+
+    def _candidate_slots(self, node_id: int) -> List[int]:
+        return sorted({t % self.ii for t in self.mobs.window(node_id)})
+
+    def _add_capacity(self) -> None:
+        """Redundant per-slot capacity bound (prunes the coupled search)."""
+        if self.dfg.num_nodes <= self.cgra.num_pes:
+            return
+        for slot in range(self.ii):
+            literals = [
+                self._slot_literal(node_id, slot) for node_id in self.dfg.node_ids()
+            ]
+            self.problem.at_most(literals, self.cgra.num_pes)
+
+    def _add_exclusivity(self) -> None:
+        """At most one operation per (kernel slot, PE) resource of the MRRG."""
+        problem = self.problem
+        occupancy: Dict[Tuple[int, int], List[int]] = {}
+        for node_id in self.dfg.node_ids():
+            self._check_deadline()
+            place_var = self.place_vars[node_id]
+            for slot in self._candidate_slots(node_id):
+                slot_literal = self._slot_literal(node_id, slot)
+                for pe in range(self.cgra.num_pes):
+                    pe_literal = problem.value_literal(place_var, pe)
+                    z = problem.new_bool(("z", node_id, slot, pe))
+                    problem.add_clause([negate(slot_literal), negate(pe_literal), z])
+                    occupancy.setdefault((slot, pe), []).append(z)
+        for (_slot, _pe), literals in occupancy.items():
+            self._check_deadline()
+            if len(literals) > 1:
+                problem.at_most(literals, 1)
+
+    def _add_routability(self) -> None:
+        """Endpoints of every dependence on identical or adjacent PEs."""
+        problem = self.problem
+        for a, b in sorted(self.dfg.undirected_edges()):
+            self._check_deadline()
+            place_a = self.place_vars[a]
+            place_b = self.place_vars[b]
+            for pe in range(self.cgra.num_pes):
+                reachable = self.cgra.neighbors_or_self(pe)
+                clause = [negate(problem.value_literal(place_a, pe))]
+                clause.extend(problem.value_literal(place_b, q) for q in sorted(reachable))
+                problem.add_clause(clause)
+
+    # ------------------------------------------------------------------ #
+    def extract(self, solution) -> Mapping:
+        start_times = {
+            node_id: solution.value(var) for node_id, var in self.time_vars.items()
+        }
+        placement = {
+            node_id: solution.value(var) for node_id, var in self.place_vars.items()
+        }
+        schedule = Schedule(dfg=self.dfg, ii=self.ii, start_times=start_times)
+        return Mapping(dfg=self.dfg, cgra=self.cgra, schedule=schedule,
+                       placement=placement)
+
+
+class SatMapItMapper:
+    """Coupled baseline with the same ``map()`` interface as the mapper."""
+
+    def __init__(self, cgra: CGRA, config: Optional[BaselineConfig] = None) -> None:
+        self.cgra = cgra
+        self.config = config if config is not None else BaselineConfig()
+
+    def _max_ii(self, dfg: DFG, mii: int) -> int:
+        if self.config.max_ii is not None:
+            return max(self.config.max_ii, mii)
+        return max(mii, critical_path_length(dfg) + self.config.slack)
+
+    def map(self, dfg: DFG) -> MappingResult:
+        """Map ``dfg`` with the coupled encoding; honours the timeout."""
+        dfg.validate()
+        start = time.monotonic()
+        budget = self.config.timeout_seconds
+        deadline = start + budget if budget is not None else None
+
+        resource_ii = res_ii(dfg, self.cgra.num_pes)
+        recurrence_ii = rec_ii(dfg)
+        mii = max(resource_ii, recurrence_ii)
+        max_ii = self._max_ii(dfg, mii)
+        result = MappingResult(
+            status=MappingStatus.NO_SOLUTION,
+            mii=mii,
+            res_ii=resource_ii,
+            rec_ii=recurrence_ii,
+        )
+
+        for ii in range(mii, max_ii + 1):
+            result.iis_tried += 1
+            mapped = False
+            timed_out = False
+            for slack in self.config.slack_candidates():
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        result.status = MappingStatus.TIME_TIMEOUT
+                        result.message = f"timed out before II={ii}"
+                        timed_out = True
+                        break
+                try:
+                    encoding = _CoupledEncoding(
+                        dfg, self.cgra, ii, slack, deadline=deadline
+                    )
+                except _EncodingTimeout:
+                    result.status = MappingStatus.TIME_TIMEOUT
+                    result.message = f"timed out while encoding II={ii}"
+                    timed_out = True
+                    break
+                solve_result = encoding.problem.solve_detailed(
+                    timeout_seconds=remaining
+                )
+                result.schedules_tried += 1
+                if solve_result.status is SolveStatus.UNKNOWN:
+                    result.status = MappingStatus.TIME_TIMEOUT
+                    result.message = f"SAT solver timed out on II={ii}"
+                    timed_out = True
+                    break
+                if solve_result.status is SolveStatus.UNSAT:
+                    continue  # retry the same II with a longer horizon
+                mapping = encoding.extract(encoding.problem._extract(solve_result))
+                if self.config.validate:
+                    assert_valid_mapping(mapping)
+                result.status = MappingStatus.SUCCESS
+                result.mapping = mapping
+                result.ii = ii
+                mapped = True
+                break
+            if mapped or timed_out:
+                break
+
+        result.total_seconds = time.monotonic() - start
+        # the whole coupled search is "time phase" from the paper's viewpoint
+        result.time_phase_seconds = result.total_seconds
+        if result.status is MappingStatus.NO_SOLUTION and not result.message:
+            result.message = f"no coupled mapping found for II in [{mii}, {max_ii}]"
+        return result

@@ -1,0 +1,172 @@
+"""Command-line interface (installed as ``repro-map``).
+
+Subcommands::
+
+    repro-map list                         # available benchmarks / kernels
+    repro-map map --benchmark crc32 --cgra 4x4
+    repro-map map --kernel-example dot_product --cgra 5x5 --simulate
+    repro-map map --kernel-file my_loop.k --cgra 8x8 --json mapping.json
+    repro-map table1                       # paper Table I / II
+    repro-map table3 --sizes 2x2 5x5       # paper Table III
+    repro-map fig5 --sizes 2x2 5x5 10x10   # paper Fig. 5
+    repro-map ablation --benchmarks aes    # design-choice ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baseline.satmapit import SatMapItMapper
+from repro.core.config import BaselineConfig, MapperConfig
+from repro.core.mapper import MonomorphismMapper
+from repro.experiments import ablation, fig5, table1_table2, table3
+from repro.experiments.runner import build_cgra
+from repro.frontend import EXAMPLE_KERNELS, extract_dfg
+from repro.sim.executor import run_and_compare
+from repro.sim.machine import DataMemory
+from repro.workloads.suite import benchmark_names, load_benchmark
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Table III benchmarks (synthetic stand-ins, see DESIGN.md):")
+    for name in benchmark_names():
+        print(f"  {name}")
+    print("\nFront-end example kernels:")
+    for name in sorted(EXAMPLE_KERNELS):
+        print(f"  {name}")
+    print("\nOther DFGs: running_example (paper Fig. 2)")
+    return 0
+
+
+def _load_dfg(args: argparse.Namespace):
+    """Resolve the requested DFG plus (optionally) simulation metadata."""
+    if args.kernel_file:
+        with open(args.kernel_file) as handle:
+            program = extract_dfg(handle.read(), name=args.kernel_file)
+        return program.dfg, program
+    if args.kernel_example:
+        program = extract_dfg(EXAMPLE_KERNELS[args.kernel_example],
+                              name=args.kernel_example)
+        return program.dfg, program
+    return load_benchmark(args.benchmark), None
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    dfg, program = _load_dfg(args)
+    cgra = build_cgra(args.cgra)
+    print(f"Mapping {dfg.name!r} ({dfg.num_nodes} nodes, {dfg.num_edges} edges) "
+          f"onto a {cgra.size_label} CGRA ({cgra.topology})")
+
+    if args.baseline:
+        mapper = SatMapItMapper(
+            cgra, BaselineConfig(timeout_seconds=args.timeout,
+                                 total_timeout_seconds=args.timeout)
+        )
+    else:
+        mapper = MonomorphismMapper(
+            cgra,
+            MapperConfig(
+                time_timeout_seconds=args.timeout,
+                space_timeout_seconds=args.timeout,
+                total_timeout_seconds=args.timeout,
+            ),
+        )
+    result = mapper.map(dfg)
+    print(result.summary())
+    if not result.success:
+        return 1
+
+    mapping = result.mapping
+    print()
+    print(mapping.render_kernel())
+    print()
+    stats = mapping.stats()
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+
+    if args.simulate:
+        memory = DataMemory()
+        initial_values = program.initial_values if program is not None else None
+        iterations = args.iterations
+        run_and_compare(mapping, iterations=iterations, memory=memory,
+                        initial_values=initial_values)
+        print(f"\nsimulation: mapped execution matches the sequential "
+              f"reference over {iterations} iterations")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(mapping.to_json())
+        print(f"\nmapping written to {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Monomorphism-based CGRA mapping via space/time decoupling",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list available workloads")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    map_parser = subparsers.add_parser("map", help="map a DFG onto a CGRA")
+    source = map_parser.add_mutually_exclusive_group()
+    source.add_argument("--benchmark", default="running_example",
+                        help="name of a Table III benchmark or 'running_example'")
+    source.add_argument("--kernel-example", choices=sorted(EXAMPLE_KERNELS),
+                        help="one of the bundled front-end kernels")
+    source.add_argument("--kernel-file", help="path to a kernel source file")
+    map_parser.add_argument("--cgra", default="4x4", help="CGRA size, e.g. 4x4")
+    map_parser.add_argument("--timeout", type=float, default=60.0)
+    map_parser.add_argument("--baseline", action="store_true",
+                            help="use the SAT-MapIt-style coupled baseline")
+    map_parser.add_argument("--simulate", action="store_true",
+                            help="run the mapping on the cycle-level simulator "
+                                 "and compare against the reference")
+    map_parser.add_argument("--iterations", type=int, default=8,
+                            help="loop iterations to simulate")
+    map_parser.add_argument("--json", help="write the mapping to a JSON file")
+    map_parser.set_defaults(handler=_cmd_map)
+
+    table1_parser = subparsers.add_parser(
+        "table1", help="reproduce paper Table I / Table II")
+    table1_parser.set_defaults(handler=lambda args: table1_table2.main([]))
+
+    table3_parser = subparsers.add_parser(
+        "table3", help="reproduce paper Table III (forwards extra args)")
+    table3_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    table3_parser.set_defaults(handler=lambda args: table3.main(args.rest))
+
+    fig5_parser = subparsers.add_parser(
+        "fig5", help="reproduce paper Fig. 5 (forwards extra args)")
+    fig5_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    fig5_parser.set_defaults(handler=lambda args: fig5.main(args.rest))
+
+    ablation_parser = subparsers.add_parser(
+        "ablation", help="design-choice ablation (forwards extra args)")
+    ablation_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    ablation_parser.set_defaults(handler=lambda args: ablation.main(args.rest))
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # The experiment subcommands own their full option set; forward their
+    # arguments untouched instead of fighting argparse.REMAINDER quirks.
+    forwarded = {"table3": table3.main, "fig5": fig5.main,
+                 "ablation": ablation.main}
+    if argv and argv[0] in forwarded:
+        return forwarded[argv[0]](argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

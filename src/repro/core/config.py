@@ -1,0 +1,94 @@
+"""Configuration of the decoupled mapper and of the coupled baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.mrrg import TimeAdjacency
+
+
+@dataclass
+class MapperConfig:
+    """Knobs of :class:`repro.core.mapper.MonomorphismMapper`.
+
+    The defaults reproduce the paper's setting; the ablation benches flip the
+    ``enforce_*`` / ``time_adjacency`` / ``pin_first_placement`` flags.
+
+    Attributes:
+        max_ii: largest II to try; ``None`` means "critical path length plus
+            slack" (a schedule of that length always exists time-wise).
+        slack: extra schedule length added on top of the critical path when
+            building the Mobility Schedule (0 reproduces the paper).
+        max_extra_slack: if the time phase proves a given II infeasible, the
+            mapper retries that II with a progressively longer schedule
+            horizon (an extension over the paper, which never needs it on
+            its benchmark set); this bounds the extra length tried.
+        max_time_solutions_per_ii: how many schedules to request from the
+            time phase for one II before giving up and increasing II.
+        time_timeout_seconds / space_timeout_seconds: per-phase budgets.
+        total_timeout_seconds: overall budget for one ``map()`` call
+            (the paper uses 4000 s; the benches here use a few seconds).
+        enforce_capacity / enforce_connectivity: include the paper's
+            Sec. IV-B2 / IV-B3 constraint families in the time phase.
+        strict_connectivity: also count the node itself when it shares the
+            slot of its neighbours (a slightly tighter variant than the
+            paper's ``|S_v^i| <= D_M``; off by default).
+        time_adjacency: MRRG time-adjacency model used by the space phase.
+        pin_first_placement: exploit torus vertex-transitivity by pinning the
+            first placed node to PE 0 of its slot.
+        validate: run the full validator on every returned mapping.
+    """
+
+    max_ii: Optional[int] = None
+    slack: int = 0
+    max_extra_slack: int = 16
+    max_time_solutions_per_ii: int = 24
+    time_timeout_seconds: float = 120.0
+    space_timeout_seconds: float = 120.0
+    total_timeout_seconds: Optional[float] = None
+    enforce_capacity: bool = True
+    enforce_connectivity: bool = True
+    strict_connectivity: bool = False
+    time_adjacency: TimeAdjacency = TimeAdjacency.ALL_PAIRS
+    pin_first_placement: bool = True
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slack < 0:
+            raise ValueError("slack must be non-negative")
+        if self.max_extra_slack < 0:
+            raise ValueError("max_extra_slack must be non-negative")
+        if self.max_time_solutions_per_ii < 1:
+            raise ValueError("max_time_solutions_per_ii must be >= 1")
+        if self.max_ii is not None and self.max_ii < 1:
+            raise ValueError("max_ii must be >= 1")
+
+    def slack_candidates(self) -> list:
+        """Schedule-horizon extensions tried for one II, in order."""
+        extras = [0, 1, 2, 4, 8, 16]
+        return [self.slack + e for e in extras if e <= self.max_extra_slack]
+
+
+@dataclass
+class BaselineConfig:
+    """Knobs of the SAT-MapIt-style coupled baseline."""
+
+    max_ii: Optional[int] = None
+    slack: int = 0
+    max_extra_slack: int = 16
+    timeout_seconds: float = 120.0
+    total_timeout_seconds: Optional[float] = None
+    enforce_capacity: bool = True
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slack < 0:
+            raise ValueError("slack must be non-negative")
+        if self.max_extra_slack < 0:
+            raise ValueError("max_extra_slack must be non-negative")
+
+    def slack_candidates(self) -> list:
+        """Schedule-horizon extensions tried for one II, in order."""
+        extras = [0, 1, 2, 4, 8, 16]
+        return [self.slack + e for e in extras if e <= self.max_extra_slack]

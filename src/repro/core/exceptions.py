@@ -1,0 +1,34 @@
+"""Exception hierarchy of the mapper."""
+
+from __future__ import annotations
+
+
+class MappingError(Exception):
+    """Base class for all mapping failures."""
+
+
+class NoScheduleError(MappingError):
+    """The time phase proved that no schedule exists for the given II."""
+
+
+class NoMappingError(MappingError):
+    """No valid mapping was found within the configured II range."""
+
+
+class PhaseTimeoutError(MappingError):
+    """A phase (time or space) exceeded its timeout."""
+
+    def __init__(self, phase: str, timeout_seconds: float) -> None:
+        super().__init__(f"{phase} phase exceeded {timeout_seconds:.1f} s timeout")
+        self.phase = phase
+        self.timeout_seconds = timeout_seconds
+
+
+class InvalidMappingError(MappingError):
+    """A produced mapping violates one of the correctness properties."""
+
+    def __init__(self, violations) -> None:
+        super().__init__(
+            "invalid mapping:\n" + "\n".join(f"  - {v}" for v in violations)
+        )
+        self.violations = list(violations)

@@ -1,0 +1,278 @@
+"""The decoupled space/time mapper (the paper's main contribution).
+
+:class:`MonomorphismMapper` drives the two phases:
+
+1. starting from ``mII = max(ResII, RecII)``, ask the time phase
+   (:class:`~repro.core.time_solver.TimeSolver`) for schedules satisfying the
+   modulo-scheduling + capacity + connectivity constraints;
+2. hand each schedule to the space phase
+   (:class:`~repro.core.space_solver.SpaceSolver`), which searches a
+   monomorphism of the slot-labelled DFG into the MRRG;
+3. the first successful placement is validated and returned; if no schedule
+   of the current ``II`` can be placed, ``II`` is increased.
+
+Two pragmatic refinements over the paper's description are implemented (both
+are needed only on workloads wider than the paper's and are exercised by the
+ablation benches):
+
+* if the time phase proves an ``II`` infeasible, the schedule horizon is
+  extended (``MapperConfig.max_extra_slack``) before giving up on that
+  ``II`` -- a longer schedule only lengthens the prologue/epilogue, not the
+  steady-state throughput;
+* the space phase may reject several schedules of the same ``II``; the time
+  phase then enumerates further solutions (up to
+  ``MapperConfig.max_time_solutions_per_ii``).
+
+The result records the wall-clock time spent in each phase separately,
+matching the "Time / Space" columns of the paper's Table III.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.core.config import MapperConfig
+from repro.core.exceptions import PhaseTimeoutError
+from repro.core.mapping import Mapping
+from repro.core.space_solver import SpaceSolver
+from repro.core.time_solver import Schedule, TimeSolver
+from repro.core.validation import assert_valid_mapping
+from repro.graphs.analysis import critical_path_length, rec_ii, res_ii
+from repro.graphs.dfg import DFG
+
+
+class MappingStatus(enum.Enum):
+    """Final status of a mapping attempt."""
+
+    SUCCESS = "success"
+    NO_SOLUTION = "no_solution"
+    TIME_TIMEOUT = "time_timeout"
+    SPACE_TIMEOUT = "space_timeout"
+    TOTAL_TIMEOUT = "total_timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class _Outcome(enum.Enum):
+    """Internal outcome of one II attempt."""
+
+    MAPPED = "mapped"
+    FAILED = "failed"
+    SPACE_TIMEOUT = "space_timeout"
+    TIME_TIMEOUT = "time_timeout"
+    TOTAL_TIMEOUT = "total_timeout"
+
+
+@dataclass
+class MappingResult:
+    """Everything the experiments need to know about one mapping attempt."""
+
+    status: MappingStatus
+    mapping: Optional[Mapping] = None
+    ii: Optional[int] = None
+    mii: int = 0
+    res_ii: int = 0
+    rec_ii: int = 0
+    time_phase_seconds: float = 0.0
+    space_phase_seconds: float = 0.0
+    total_seconds: float = 0.0
+    schedules_tried: int = 0
+    iis_tried: int = 0
+    message: str = ""
+
+    @property
+    def success(self) -> bool:
+        return self.status is MappingStatus.SUCCESS
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status in (
+            MappingStatus.TIME_TIMEOUT,
+            MappingStatus.SPACE_TIMEOUT,
+            MappingStatus.TOTAL_TIMEOUT,
+        )
+
+    def summary(self) -> str:
+        if self.success:
+            return (
+                f"II={self.ii} (mII={self.mii}) in {self.total_seconds:.3f}s "
+                f"(time {self.time_phase_seconds:.3f}s, "
+                f"space {self.space_phase_seconds:.3f}s, "
+                f"{self.schedules_tried} schedule(s) tried)"
+            )
+        return f"{self.status}: {self.message or 'no mapping found'}"
+
+
+class MonomorphismMapper:
+    """Maps DFGs onto a CGRA by decoupling the time and space dimensions."""
+
+    def __init__(self, cgra: CGRA, config: Optional[MapperConfig] = None) -> None:
+        self.cgra = cgra
+        self.config = config if config is not None else MapperConfig()
+        self.space_solver = SpaceSolver(cgra, self.config)
+
+    # ------------------------------------------------------------------ #
+    def _max_ii(self, dfg: DFG, mii: int) -> int:
+        if self.config.max_ii is not None:
+            return max(self.config.max_ii, mii)
+        # A schedule of length equal to the critical path always exists; an
+        # II of that length (plus slack) leaves every node its full window.
+        return max(mii, critical_path_length(dfg) + self.config.slack)
+
+    def map(self, dfg: DFG) -> MappingResult:
+        """Map ``dfg`` onto the CGRA; never raises for ordinary failures."""
+        dfg.validate()
+        start = time.monotonic()
+        resource_ii = res_ii(dfg, self.cgra.num_pes)
+        recurrence_ii = rec_ii(dfg)
+        mii = max(resource_ii, recurrence_ii)
+        max_ii = self._max_ii(dfg, mii)
+
+        result = MappingResult(
+            status=MappingStatus.NO_SOLUTION,
+            mii=mii,
+            res_ii=resource_ii,
+            rec_ii=recurrence_ii,
+        )
+        space_timed_out = False
+        time_timed_out = False
+        time_timeout_message = ""
+
+        for ii in range(mii, max_ii + 1):
+            result.iis_tried += 1
+            if self._total_budget_exhausted(start):
+                result.status = MappingStatus.TOTAL_TIMEOUT
+                result.message = f"total budget exhausted before II={ii}"
+                break
+            outcome, mapping, message = self._attempt_ii(dfg, ii, result, start)
+            if outcome is _Outcome.MAPPED:
+                result.status = MappingStatus.SUCCESS
+                result.mapping = mapping
+                result.ii = ii
+                break
+            if outcome is _Outcome.TIME_TIMEOUT:
+                # Give up on this II but keep trying larger ones while the
+                # total budget allows it (larger IIs are easier to schedule).
+                time_timed_out = True
+                time_timeout_message = message
+                continue
+            if outcome is _Outcome.TOTAL_TIMEOUT:
+                result.status = MappingStatus.TOTAL_TIMEOUT
+                result.message = message
+                break
+            if outcome is _Outcome.SPACE_TIMEOUT:
+                space_timed_out = True
+
+        if result.status is MappingStatus.NO_SOLUTION and time_timed_out:
+            result.status = MappingStatus.TIME_TIMEOUT
+            result.message = time_timeout_message
+        elif result.status is MappingStatus.NO_SOLUTION and space_timed_out:
+            result.status = MappingStatus.SPACE_TIMEOUT
+            result.message = "space phase timed out for every attempted II"
+        if not result.message and result.status is MappingStatus.NO_SOLUTION:
+            result.message = (
+                f"no mapping found for II in [{mii}, {max_ii}] "
+                f"(tried {result.schedules_tried} schedule(s))"
+            )
+        result.total_seconds = time.monotonic() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _phase_budget(self, start: float, configured: float) -> float:
+        """Per-call solver budget, clipped to the remaining total budget."""
+        total = self.config.total_timeout_seconds
+        if total is None:
+            return configured
+        remaining = total - (time.monotonic() - start)
+        return max(0.01, min(configured, remaining))
+
+    def _attempt_ii(
+        self, dfg: DFG, ii: int, result: MappingResult, start: float
+    ) -> Tuple[_Outcome, Optional[Mapping], str]:
+        """Try one II, extending the schedule horizon on time infeasibility."""
+        space_timed_out = False
+        for slack in self.config.slack_candidates():
+            if self._total_budget_exhausted(start):
+                return (
+                    _Outcome.TOTAL_TIMEOUT,
+                    None,
+                    f"total budget exhausted during II={ii}",
+                )
+            time_phase_start = time.monotonic()
+            try:
+                solver = TimeSolver(dfg, self.cgra, ii, self.config, slack=slack)
+                schedule_iter = solver.iter_schedules(
+                    timeout_seconds=self._phase_budget(
+                        start, self.config.time_timeout_seconds
+                    )
+                )
+                schedule = self._next_schedule(schedule_iter)
+            except PhaseTimeoutError as exc:
+                result.time_phase_seconds += time.monotonic() - time_phase_start
+                return _Outcome.TIME_TIMEOUT, None, str(exc)
+            result.time_phase_seconds += time.monotonic() - time_phase_start
+
+            if schedule is None:
+                # II infeasible for this horizon; retry with a longer one.
+                continue
+
+            while schedule is not None:
+                result.schedules_tried += 1
+                space_result = self.space_solver.solve(
+                    schedule,
+                    timeout_seconds=self._phase_budget(
+                        start, self.config.space_timeout_seconds
+                    ),
+                )
+                result.space_phase_seconds += space_result.elapsed_seconds
+                if space_result.found:
+                    mapping = Mapping(
+                        dfg=dfg,
+                        cgra=self.cgra,
+                        schedule=schedule,
+                        placement=space_result.placement,
+                    )
+                    if self.config.validate:
+                        assert_valid_mapping(mapping)
+                    return _Outcome.MAPPED, mapping, ""
+                if space_result.timed_out:
+                    space_timed_out = True
+                    break
+                if self._total_budget_exhausted(start):
+                    return (
+                        _Outcome.TOTAL_TIMEOUT,
+                        None,
+                        "total budget exhausted during space search",
+                    )
+                time_phase_start = time.monotonic()
+                try:
+                    schedule = self._next_schedule(schedule_iter)
+                except PhaseTimeoutError as exc:
+                    result.time_phase_seconds += time.monotonic() - time_phase_start
+                    return _Outcome.TIME_TIMEOUT, None, str(exc)
+                result.time_phase_seconds += time.monotonic() - time_phase_start
+
+            # Schedules existed for this II but none could be placed (or the
+            # space search timed out): a longer horizon is unlikely to help,
+            # so move on to the next II.
+            break
+        if space_timed_out:
+            return _Outcome.SPACE_TIMEOUT, None, "space phase timed out"
+        return _Outcome.FAILED, None, ""
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _next_schedule(iterator) -> Optional[Schedule]:
+        try:
+            return next(iterator)
+        except StopIteration:
+            return None
+
+    def _total_budget_exhausted(self, start: float) -> bool:
+        budget = self.config.total_timeout_seconds
+        return budget is not None and (time.monotonic() - start) > budget

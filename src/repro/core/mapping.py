@@ -1,0 +1,173 @@
+"""The mapping object produced by the mapper.
+
+A :class:`Mapping` binds a DFG, a CGRA, a modulo schedule and a placement. It
+exposes the views the rest of the library needs: the kernel configuration
+table (which PE executes which node at which slot, Fig. 2b), the
+prologue/kernel/epilogue decomposition, utilisation statistics and a JSON
+serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.core.time_solver import Schedule
+from repro.graphs.dfg import DFG
+
+
+@dataclass
+class Mapping:
+    """A complete space-time mapping of a DFG onto a CGRA."""
+
+    dfg: DFG
+    cgra: CGRA
+    schedule: Schedule
+    placement: Dict[int, int]  # node id -> PE index
+
+    def __post_init__(self) -> None:
+        missing = set(self.dfg.node_ids()) - set(self.placement)
+        if missing:
+            raise ValueError(f"placement misses nodes {sorted(missing)}")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def ii(self) -> int:
+        return self.schedule.ii
+
+    def pe(self, node_id: int) -> int:
+        """PE executing a node."""
+        return self.placement[node_id]
+
+    def slot(self, node_id: int) -> int:
+        """Kernel slot of a node."""
+        return self.schedule.slot(node_id)
+
+    def time(self, node_id: int) -> int:
+        """Absolute start time of a node (prologue-relative)."""
+        return self.schedule.time(node_id)
+
+    def stage(self, node_id: int) -> int:
+        """Pipeline stage (KMS folding subscript) of a node."""
+        return self.schedule.iteration(node_id)
+
+    def mrrg_vertex(self, node_id: int) -> int:
+        """MRRG vertex id the node is mapped to."""
+        return self.slot(node_id) * self.cgra.num_pes + self.pe(node_id)
+
+    @property
+    def schedule_length(self) -> int:
+        return self.schedule.length
+
+    @property
+    def num_stages(self) -> int:
+        return self.schedule.num_stages
+
+    # ------------------------------------------------------------------ #
+    # Kernel / prologue / epilogue structure
+    # ------------------------------------------------------------------ #
+    def kernel_table(self) -> List[List[Optional[int]]]:
+        """``II x num_pes`` table: node executed by each PE at each slot."""
+        table: List[List[Optional[int]]] = [
+            [None] * self.cgra.num_pes for _ in range(self.ii)
+        ]
+        for node_id in self.dfg.node_ids():
+            slot = self.slot(node_id)
+            pe = self.pe(node_id)
+            if table[slot][pe] is not None:
+                raise ValueError(
+                    f"PE {pe} at slot {slot} executes both node "
+                    f"{table[slot][pe]} and node {node_id}"
+                )
+            table[slot][pe] = node_id
+        return table
+
+    def prologue_cycles(self, iterations: Optional[int] = None) -> int:
+        """Number of cycles before the kernel reaches steady state."""
+        return (self.num_stages - 1) * self.ii
+
+    def epilogue_cycles(self) -> int:
+        """Number of cycles needed to drain the pipeline after the kernel."""
+        return self.schedule_length - self.ii
+
+    def total_cycles(self, iterations: int) -> int:
+        """Execution time of ``iterations`` loop iterations, in cycles.
+
+        With modulo scheduling the loop completes in
+        ``(iterations - 1) * II + schedule_length`` cycles.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        return (iterations - 1) * self.ii + self.schedule_length
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> float:
+        """Fraction of PE-slots of the kernel that execute an operation."""
+        return self.dfg.num_nodes / (self.ii * self.cgra.num_pes)
+
+    def pe_load(self) -> Dict[int, int]:
+        """Number of operations executed by each PE across the kernel."""
+        load: Dict[int, int] = {pe.index: 0 for pe in self.cgra.pes}
+        for node_id in self.dfg.node_ids():
+            load[self.pe(node_id)] += 1
+        return load
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.dfg.name,
+            "cgra": self.cgra.size_label,
+            "ii": self.ii,
+            "schedule_length": self.schedule_length,
+            "num_stages": self.num_stages,
+            "nodes": self.dfg.num_nodes,
+            "edges": self.dfg.num_edges,
+            "utilization": round(self.utilization(), 4),
+            "max_pe_load": max(self.pe_load().values()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Rendering / serialisation
+    # ------------------------------------------------------------------ #
+    def render_kernel(self) -> str:
+        """ASCII kernel configuration table (the bottom of paper Fig. 2b)."""
+        table = self.kernel_table()
+        width = max(4, max(len(str(n)) for n in self.dfg.node_ids()) + 1)
+        header = "slot | " + " ".join(
+            f"PE{pe.index}".rjust(width) for pe in self.cgra.pes
+        )
+        lines = [header, "-" * len(header)]
+        for slot, row in enumerate(table):
+            cells = " ".join(
+                (str(node) if node is not None else ".").rjust(width) for node in row
+            )
+            lines.append(f"T={slot:<3}| {cells}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "dfg": self.dfg.to_dict(),
+            "cgra": {
+                "rows": self.cgra.rows,
+                "cols": self.cgra.cols,
+                "topology": self.cgra.topology.value,
+            },
+            "ii": self.ii,
+            "start_times": dict(self.schedule.start_times),
+            "placement": dict(self.placement),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Mapping({self.dfg.name} -> {self.cgra.size_label}, II={self.ii}, "
+            f"stages={self.num_stages})"
+        )

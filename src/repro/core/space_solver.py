@@ -1,0 +1,139 @@
+"""Space phase: place the scheduled DFG onto the CGRA via monomorphism.
+
+Given a time solution, every DFG node carries a kernel-slot label and the
+placement problem becomes: find an injective, label- and edge-preserving map
+from the labelled DFG into the MRRG (paper Sec. IV-C). The MRRG is exposed to
+the generic monomorphism search through :class:`MRRGTarget`, which computes
+candidates and adjacency on the fly (no explicit graph is built even for
+20x20 CGRAs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.arch.mrrg import MRRG, TimeAdjacency
+from repro.arch.topology import Topology
+from repro.core.config import MapperConfig
+from repro.core.exceptions import PhaseTimeoutError
+from repro.core.time_solver import Schedule
+from repro.matching.monomorphism import (
+    MonomorphismSearch,
+    PatternGraph,
+    SearchStats,
+)
+
+
+class MRRGTarget:
+    """Adapter exposing an :class:`~repro.arch.mrrg.MRRG` to the matcher."""
+
+    def __init__(self, mrrg: MRRG, pin_first_placement: bool = True) -> None:
+        self.mrrg = mrrg
+        self.pin_first_placement = pin_first_placement
+
+    # -- TargetGraph protocol ------------------------------------------- #
+    def candidates(self, label: Hashable) -> Iterable[int]:
+        return self.mrrg.vertices_with_label(int(label))
+
+    def seed_candidates(self, label: Hashable) -> Iterable[int]:
+        """Candidates for the first placed node.
+
+        A torus CGRA is vertex-transitive inside a time step, so the first
+        node can be pinned to PE 0 of its slot without losing completeness;
+        on other topologies all PEs are returned.
+        """
+        if self.pin_first_placement and self.mrrg.cgra.topology is Topology.TORUS:
+            return [self.mrrg.vertex(0, int(label))]
+        return self.candidates(label)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.mrrg.has_edge(a, b)
+
+    def neighbors_with_label(self, vertex: int, label: Hashable) -> Iterable[int]:
+        slot = int(label)
+        mrrg = self.mrrg
+        if mrrg.time_adjacency is TimeAdjacency.CONSECUTIVE:
+            diff = (mrrg.slot_of(vertex) - slot) % mrrg.ii
+            if diff not in (0, 1, mrrg.ii - 1):
+                return []
+        base = slot * mrrg.cgra.num_pes
+        pe = mrrg.pe_of(vertex)
+        return [
+            base + other_pe
+            for other_pe in mrrg.cgra.neighbors_or_self(pe)
+            if base + other_pe != vertex
+        ]
+
+
+@dataclass
+class SpaceResult:
+    """Outcome of the space phase for one schedule."""
+
+    placement: Optional[Dict[int, int]]  # node -> PE index
+    mrrg_assignment: Optional[Dict[int, int]]  # node -> MRRG vertex
+    stats: SearchStats = field(default_factory=SearchStats)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.placement is not None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.stats.timed_out
+
+
+def build_pattern(schedule: Schedule) -> PatternGraph:
+    """The slot-labelled undirected DFG the monomorphism search runs on."""
+    labels = {node_id: schedule.slot(node_id) for node_id in schedule.start_times}
+    edges = schedule.dfg.undirected_edges()
+    return PatternGraph.from_edges(labels, edges)
+
+
+class SpaceSolver:
+    """Runs the monomorphism search for one schedule."""
+
+    def __init__(self, cgra: CGRA, config: Optional[MapperConfig] = None) -> None:
+        self.cgra = cgra
+        self.config = config if config is not None else MapperConfig()
+
+    def build_mrrg(self, ii: int) -> MRRG:
+        return MRRG(self.cgra, ii, time_adjacency=self.config.time_adjacency)
+
+    def solve(
+        self,
+        schedule: Schedule,
+        timeout_seconds: Optional[float] = None,
+    ) -> SpaceResult:
+        """Attempt to place ``schedule``; never raises on plain failure."""
+        budget = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.config.space_timeout_seconds
+        )
+        start = time.monotonic()
+        mrrg = self.build_mrrg(schedule.ii)
+        target = MRRGTarget(mrrg, pin_first_placement=self.config.pin_first_placement)
+        pattern = build_pattern(schedule)
+        search = MonomorphismSearch(pattern, target, timeout_seconds=budget)
+        outcome = search.search()
+        elapsed = time.monotonic() - start
+        if outcome.mapping is None:
+            return SpaceResult(
+                placement=None,
+                mrrg_assignment=None,
+                stats=outcome.stats,
+                elapsed_seconds=elapsed,
+            )
+        placement = {
+            node: mrrg.pe_of(vertex) for node, vertex in outcome.mapping.items()
+        }
+        return SpaceResult(
+            placement=placement,
+            mrrg_assignment=dict(outcome.mapping),
+            stats=outcome.stats,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,269 @@
+"""Time phase: modulo scheduling via the SAT/SMT substrate.
+
+For a candidate ``II`` the solver assigns every DFG node an absolute start
+time within its Mobility Schedule window; the node's kernel slot is the time
+modulo ``II`` (this is exactly the folding performed by the Kernel Mobility
+Schedule of paper Sec. IV-B). Three constraint families are encoded:
+
+* **modulo scheduling** (Sec. IV-B1): data dependence ``u -> v`` requires
+  ``T_v >= T_u + lat(u)``; a loop-carried dependence with distance ``d``
+  requires ``T_v + d*II >= T_u + lat(u)``. These are the unfolded equivalents
+  of the paper's folded (slot / iteration-subscript) constraints.
+* **capacity** (Sec. IV-B2): at most ``|V_Mi|`` nodes per kernel slot.
+* **connectivity** (Sec. IV-B3): for every node, at most ``D_M`` of its
+  neighbours per kernel slot.
+
+Capacity and connectivity are the additions that make a subsequent space
+solution possible (paper Sec. IV-D); they can be disabled for ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.arch.cgra import CGRA
+from repro.core.config import MapperConfig
+from repro.core.exceptions import NoScheduleError, PhaseTimeoutError
+from repro.graphs.analysis import (
+    MobilitySchedule,
+    critical_path_length,
+    mobility_schedule,
+    res_ii,
+)
+from repro.graphs.dfg import DFG, DependenceKind
+from repro.graphs.kms import KernelMobilitySchedule
+from repro.smt.csp import FiniteDomainProblem, IntVar
+
+
+@dataclass
+class Schedule:
+    """A valid time solution: absolute start time for every DFG node."""
+
+    dfg: DFG
+    ii: int
+    start_times: Dict[int, int]
+
+    def time(self, node_id: int) -> int:
+        """Absolute start time of a node."""
+        return self.start_times[node_id]
+
+    def slot(self, node_id: int) -> int:
+        """Kernel slot (``time mod II``) -- the paper's label ``l_G``."""
+        return self.start_times[node_id] % self.ii
+
+    def iteration(self, node_id: int) -> int:
+        """KMS folding subscript (``time div II``)."""
+        return self.start_times[node_id] // self.ii
+
+    @property
+    def length(self) -> int:
+        """Schedule length in cycles (prologue + one kernel iteration)."""
+        return max(
+            self.start_times[n] + self.dfg.node(n).latency for n in self.start_times
+        )
+
+    @property
+    def num_stages(self) -> int:
+        """Number of interleaved loop iterations in the kernel."""
+        return max(self.iteration(n) for n in self.start_times) + 1
+
+    def labels(self) -> Dict[int, int]:
+        """Node -> kernel slot, the labelling used by the space phase."""
+        return {n: self.slot(n) for n in self.start_times}
+
+    def slot_population(self) -> List[Set[int]]:
+        """Nodes per kernel slot (``C_i`` of the capacity constraint)."""
+        population: List[Set[int]] = [set() for _ in range(self.ii)]
+        for node_id in self.start_times:
+            population[self.slot(node_id)].add(node_id)
+        return population
+
+    def max_slot_population(self) -> int:
+        return max(len(s) for s in self.slot_population())
+
+    def neighbor_slot_count(self, node_id: int, slot: int) -> int:
+        """``|S_v^i|``: neighbours of a node scheduled in a given slot."""
+        return sum(
+            1 for u in self.dfg.neighbor_ids(node_id) if self.slot(u) == slot
+        )
+
+    def validate_dependences(self) -> List[str]:
+        """Check every dependence; returns human-readable violations."""
+        violations: List[str] = []
+        for edge in self.dfg.edges():
+            produced = self.start_times[edge.src] + self.dfg.node(edge.src).latency
+            consumed = self.start_times[edge.dst] + edge.distance * self.ii
+            if consumed < produced:
+                violations.append(
+                    f"dependence {edge.src}->{edge.dst} (kind={edge.kind}, "
+                    f"distance={edge.distance}) violated: produced at {produced}, "
+                    f"consumed at {consumed}"
+                )
+        return violations
+
+    def as_rows(self) -> List[List[int]]:
+        """Nodes per absolute time step (for pretty-printing)."""
+        rows: List[List[int]] = [[] for _ in range(self.length)]
+        for node_id, t in self.start_times.items():
+            rows[t].append(node_id)
+        return [sorted(r) for r in rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(ii={self.ii}, length={self.length}, nodes={len(self.start_times)})"
+
+
+class TimeSolver:
+    """Builds and solves the time-phase formulation for one ``II``."""
+
+    def __init__(
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        ii: int,
+        config: Optional[MapperConfig] = None,
+        slack: Optional[int] = None,
+    ) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.dfg = dfg
+        self.cgra = cgra
+        self.ii = ii
+        self.config = config if config is not None else MapperConfig()
+        # The Mobility Schedule horizon must be long enough for the CGRA to
+        # absorb all operations: if the DFG has more nodes than
+        # ``num_pes * critical_path`` no packing fits the default horizon, so
+        # the horizon is automatically extended up to ResII time steps.
+        # An explicit ``slack`` argument (used by the mapper's horizon-retry
+        # loop) overrides the configured baseline slack.
+        base_slack = self.config.slack if slack is None else slack
+        needed = max(0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg))
+        self.slack = max(base_slack, needed)
+        self.mobs: MobilitySchedule = mobility_schedule(dfg, slack=self.slack)
+        self.kms = KernelMobilitySchedule(self.mobs, ii)
+        self.problem = FiniteDomainProblem()
+        self._time_vars: Dict[int, IntVar] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        self._create_variables()
+        self._add_modulo_scheduling_constraints()
+        if self.config.enforce_capacity:
+            self._add_capacity_constraints()
+        if self.config.enforce_connectivity:
+            self._add_connectivity_constraints()
+
+    def _create_variables(self) -> None:
+        for node_id in self.dfg.node_ids():
+            variable = self.problem.new_int(
+                f"t{node_id}", self.mobs.earliest(node_id), self.mobs.latest(node_id)
+            )
+            self._time_vars[node_id] = variable
+            # Branch on the least-mobile (most critical) nodes first, earliest
+            # start time first -- the classic modulo-scheduling priority.
+            mobility = self.mobs.mobility(node_id)
+            self.problem.prioritize(variable, weight=2.0 / (1.0 + mobility))
+
+    def _add_modulo_scheduling_constraints(self) -> None:
+        """Sec. IV-B1: precedence for data and loop-carried dependences."""
+        for edge in self.dfg.edges():
+            src_var = self._time_vars[edge.src]
+            dst_var = self._time_vars[edge.dst]
+            latency = self.dfg.node(edge.src).latency
+            if edge.kind is DependenceKind.DATA:
+                self.problem.add_ge(dst_var, src_var, latency)
+            else:
+                # T_dst + distance * II >= T_src + latency
+                self.problem.add_ge(dst_var, src_var, latency - edge.distance * self.ii)
+
+    def _add_capacity_constraints(self) -> None:
+        """Sec. IV-B2: at most ``|V_Mi|`` operations per kernel slot."""
+        capacity = self.cgra.num_pes
+        if self.dfg.num_nodes <= capacity:
+            return  # cannot be violated on arrays larger than the DFG
+        for slot in range(self.ii):
+            indicators = []
+            for node_id, var in self._time_vars.items():
+                literal = self.problem.mod_indicator(var, self.ii, slot)
+                indicators.append(literal)
+            self.problem.at_most(indicators, capacity)
+
+    def _add_connectivity_constraints(self) -> None:
+        """Sec. IV-B3: at most ``D_M`` neighbours of a node per slot."""
+        degree = self.cgra.connectivity_degree
+        for node_id, var in self._time_vars.items():
+            neighbors = sorted(self.dfg.neighbor_ids(node_id))
+            if len(neighbors) <= degree and not self.config.strict_connectivity:
+                continue  # cannot be violated, skip the encoding
+            for slot in range(self.ii):
+                literals = [
+                    self.problem.mod_indicator(self._time_vars[u], self.ii, slot)
+                    for u in neighbors
+                ]
+                if self.config.strict_connectivity:
+                    # the node itself occupies one of the D_M reachable PEs
+                    # when it shares the slot with its neighbours
+                    literals.append(self.problem.mod_indicator(var, self.ii, slot))
+                if len(literals) <= degree:
+                    continue
+                self.problem.at_most(literals, degree)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sat_variables(self) -> int:
+        return self.problem.num_sat_variables
+
+    @property
+    def num_sat_clauses(self) -> int:
+        return self.problem.num_sat_clauses
+
+    def _to_schedule(self, solution) -> Schedule:
+        start_times = {
+            node_id: solution.value(var) for node_id, var in self._time_vars.items()
+        }
+        return Schedule(dfg=self.dfg, ii=self.ii, start_times=start_times)
+
+    def solve(self, timeout_seconds: Optional[float] = None) -> Optional[Schedule]:
+        """Find one schedule; ``None`` if none exists for this II."""
+        budget = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.config.time_timeout_seconds
+        )
+        try:
+            solution = self.problem.solve(timeout_seconds=budget)
+        except TimeoutError as exc:
+            raise PhaseTimeoutError("time", budget) from exc
+        if solution is None:
+            return None
+        return self._to_schedule(solution)
+
+    def iter_schedules(
+        self,
+        limit: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> Iterator[Schedule]:
+        """Enumerate distinct schedules (distinct start-time assignments)."""
+        budget = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.config.time_timeout_seconds
+        )
+        max_solutions = (
+            limit if limit is not None else self.config.max_time_solutions_per_ii
+        )
+        try:
+            for solution in self.problem.enumerate_solutions(
+                block_on=list(self._time_vars.values()),
+                limit=max_solutions,
+                timeout_seconds=budget,
+            ):
+                yield self._to_schedule(solution)
+        except TimeoutError as exc:
+            raise PhaseTimeoutError("time", budget) from exc

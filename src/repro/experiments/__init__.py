@@ -1,0 +1,37 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every table and figure of the paper's evaluation section has a driver here:
+
+* Table I / Table II -- :mod:`repro.experiments.table1_table2`
+  (ASAP/ALAP/MobS and KMS of the running example).
+* Table III -- :mod:`repro.experiments.table3` (II and compilation time of
+  the decoupled mapper vs. the SAT-MapIt-style baseline on the 17 benchmarks
+  and four CGRA sizes).
+* Fig. 5 -- :mod:`repro.experiments.fig5` (compilation time vs. CGRA size
+  for the ``aes`` benchmark).
+* Design ablations (not a paper exhibit, but the design choices of
+  Sec. IV-B/IV-C) -- :mod:`repro.experiments.ablation`.
+
+The drivers print ASCII tables/figures, can emit CSV, and are callable both
+as modules (``python -m repro.experiments.table3``) and from the benchmark
+harness under ``benchmarks/``. The values reported in the paper are kept in
+:mod:`repro.experiments.paper_data` so every run shows paper-vs-measured
+side by side.
+"""
+
+from repro.experiments.runner import (
+    CaseResult,
+    build_cgra,
+    run_decoupled_case,
+    run_baseline_case,
+)
+from repro.experiments.paper_data import PAPER_TABLE3, PaperEntry
+
+__all__ = [
+    "CaseResult",
+    "build_cgra",
+    "run_decoupled_case",
+    "run_baseline_case",
+    "PAPER_TABLE3",
+    "PaperEntry",
+]

@@ -1,0 +1,110 @@
+"""Reproduce paper Fig. 5: compilation time vs CGRA size for ``aes``.
+
+The paper's figure shows that the coupled SAT-MapIt compilation time grows
+steeply with the CGRA size while the decoupled monomorphism mapper stays
+flat. This driver measures both mappers on the requested sizes, prints an
+ASCII chart (log-scale y axis, like the paper) and the underlying numbers
+next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.paper_data import PAPER_FIG5_AES, PAPER_TABLE3
+from repro.experiments.runner import (
+    DEFAULT_SIZES,
+    run_baseline_case,
+    run_decoupled_case,
+)
+from repro.reporting.figures import Series, render_line_chart, series_to_csv
+from repro.reporting.tables import Table, format_seconds
+
+
+def run_fig5(
+    benchmark: str = "aes",
+    sizes: Sequence[str] = DEFAULT_SIZES,
+    timeout_seconds: float = 60.0,
+    run_baseline: bool = True,
+) -> Dict[str, object]:
+    """Collect the Fig. 5 data points."""
+    measured_mono = Series(label="monomorphism (measured)")
+    measured_base = Series(label="SAT-MapIt baseline (measured)")
+    paper_mono = Series(label="monomorphism (paper)")
+    paper_base = Series(label="SAT-MapIt (paper)")
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        mono = run_decoupled_case(benchmark, size, timeout_seconds)
+        measured_mono.add(size, mono.total_seconds)
+        baseline = None
+        if run_baseline:
+            baseline = run_baseline_case(benchmark, size, timeout_seconds)
+            measured_base.add(size, baseline.total_seconds)
+        else:
+            measured_base.add(size, None)
+        paper_entry = PAPER_TABLE3.get(size, {}).get(benchmark)
+        paper_mono.add(size, paper_entry.mono_total if paper_entry else None)
+        paper_base.add(size, paper_entry.satmapit_time if paper_entry else None)
+        rows.append({"size": size, "mono": mono, "baseline": baseline,
+                     "paper": paper_entry})
+    return {
+        "benchmark": benchmark,
+        "series": [measured_mono, measured_base, paper_mono, paper_base],
+        "rows": rows,
+    }
+
+
+def fig5_table(data: Dict[str, object]) -> Table:
+    table = Table(
+        headers=["CGRA", "mono (s)", "baseline (s)",
+                 "paper mono (s)", "paper SAT-MapIt (s)", "II", "paper II"],
+        title=f"Fig. 5 -- compilation time vs CGRA size for "
+              f"{data['benchmark']!r}",
+    )
+    for row in data["rows"]:
+        mono = row["mono"]
+        baseline = row["baseline"]
+        paper = row["paper"]
+        table.add_row(
+            row["size"],
+            format_seconds(mono.total_seconds),
+            format_seconds(baseline.total_seconds) if baseline is not None else "skipped",
+            format_seconds(paper.mono_total) if paper else "-",
+            format_seconds(paper.satmapit_time) if paper else "-",
+            mono.ii,
+            paper.ii if paper else None,
+        )
+    return table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="aes")
+    parser.add_argument("--sizes", nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--no-baseline", action="store_true")
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    data = run_fig5(
+        benchmark=args.benchmark,
+        sizes=args.sizes,
+        timeout_seconds=args.timeout,
+        run_baseline=not args.no_baseline,
+    )
+    print(fig5_table(data).render())
+    print()
+    print(render_line_chart(
+        data["series"],
+        title=f"Fig. 5 -- compilation time (s) vs CGRA size, "
+              f"{args.benchmark} benchmark",
+    ))
+    if args.csv:
+        series_to_csv(data["series"], args.csv)
+        print(f"\nseries written to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.arch.topology import Topology
+from repro.core.config import BaselineConfig, MapperConfig
+from repro.core.mapper import MappingResult, MappingStatus, MonomorphismMapper
+from repro.baseline.satmapit import SatMapItMapper
+from repro.graphs.dfg import DFG
+from repro.workloads.suite import load_benchmark, spec
+
+DEFAULT_SIZES: Tuple[str, ...] = ("2x2", "5x5", "10x10", "20x20")
+
+
+def parse_size(size: str) -> Tuple[int, int]:
+    """Parse a size label such as ``"5x5"``."""
+    try:
+        rows_text, cols_text = size.lower().split("x")
+        rows, cols = int(rows_text), int(cols_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid CGRA size {size!r}; expected e.g. '5x5'") from exc
+    if rows < 1 or cols < 1:
+        raise ValueError(f"invalid CGRA size {size!r}")
+    return rows, cols
+
+
+def build_cgra(size: str, topology: Topology = Topology.TORUS) -> CGRA:
+    rows, cols = parse_size(size)
+    return CGRA(rows, cols, topology=topology)
+
+
+@dataclass
+class CaseResult:
+    """One (benchmark, CGRA size, approach) measurement."""
+
+    benchmark: str
+    cgra_size: str
+    approach: str                     # "monomorphism" or "satmapit"
+    status: str
+    ii: Optional[int]
+    mii: int
+    time_phase_seconds: Optional[float]
+    space_phase_seconds: Optional[float]
+    total_seconds: Optional[float]
+    schedules_tried: int = 0
+    nodes: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == MappingStatus.SUCCESS.value
+
+    @classmethod
+    def from_mapping_result(
+        cls,
+        benchmark: str,
+        cgra_size: str,
+        approach: str,
+        dfg: DFG,
+        result: MappingResult,
+    ) -> "CaseResult":
+        succeeded = result.success
+        return cls(
+            benchmark=benchmark,
+            cgra_size=cgra_size,
+            approach=approach,
+            status=result.status.value,
+            ii=result.ii,
+            mii=result.mii,
+            time_phase_seconds=result.time_phase_seconds if succeeded else None,
+            space_phase_seconds=result.space_phase_seconds if succeeded else None,
+            total_seconds=result.total_seconds if succeeded else None,
+            schedules_tried=result.schedules_tried,
+            nodes=dfg.num_nodes,
+        )
+
+
+def decoupled_config(timeout_seconds: float) -> MapperConfig:
+    """Mapper configuration used by the experiments."""
+    return MapperConfig(
+        time_timeout_seconds=timeout_seconds,
+        space_timeout_seconds=timeout_seconds,
+        total_timeout_seconds=timeout_seconds,
+    )
+
+
+def baseline_config(timeout_seconds: float) -> BaselineConfig:
+    return BaselineConfig(
+        timeout_seconds=timeout_seconds,
+        total_timeout_seconds=timeout_seconds,
+    )
+
+
+def run_decoupled_case(
+    benchmark: str, size: str, timeout_seconds: float = 60.0
+) -> CaseResult:
+    """Run the decoupled mapper on one benchmark / CGRA size."""
+    dfg = load_benchmark(benchmark)
+    cgra = build_cgra(size)
+    mapper = MonomorphismMapper(cgra, decoupled_config(timeout_seconds))
+    result = mapper.map(dfg)
+    return CaseResult.from_mapping_result(benchmark, size, "monomorphism", dfg, result)
+
+
+def run_baseline_case(
+    benchmark: str, size: str, timeout_seconds: float = 60.0
+) -> CaseResult:
+    """Run the SAT-MapIt-style baseline on one benchmark / CGRA size."""
+    dfg = load_benchmark(benchmark)
+    cgra = build_cgra(size)
+    mapper = SatMapItMapper(cgra, baseline_config(timeout_seconds))
+    result = mapper.map(dfg)
+    return CaseResult.from_mapping_result(benchmark, size, "satmapit", dfg, result)
+
+
+def compilation_time_ratio(
+    mono: CaseResult, baseline: CaseResult
+) -> Optional[float]:
+    """The paper's CTR column: baseline time over monomorphism time."""
+    if not (mono.succeeded and baseline.succeeded):
+        return None
+    if not mono.total_seconds:
+        return None
+    return baseline.total_seconds / mono.total_seconds
+
+
+def average(values: Iterable[Optional[float]]) -> Optional[float]:
+    """Mean of the non-``None`` values (the paper excludes timeouts)."""
+    concrete = [v for v in values if v is not None]
+    if not concrete:
+        return None
+    return sum(concrete) / len(concrete)

@@ -1,0 +1,132 @@
+"""Abstract syntax tree of the loop-kernel language.
+
+A program is a sequence of declarations followed by exactly one ``for`` loop
+(the innermost loop the paper's flow would mark with a pragma). Statements
+inside the loop body are scalar assignments and array stores; expressions are
+integer arithmetic over declared values, loop-carried accumulators, constants
+and array loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: int
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Ternary:
+    condition: "Expression"
+    if_true: "Expression"
+    if_false: "Expression"
+
+
+@dataclass(frozen=True)
+class LoadExpr:
+    array: str
+    index: "Expression"
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    """Builtin calls: ``min(a, b)``, ``max(a, b)``, ``abs(a)``."""
+
+    function: str
+    arguments: Sequence["Expression"]
+
+
+Expression = Union[NumberLiteral, VariableRef, BinaryOp, UnaryOp, Ternary,
+                   LoadExpr, CallExpr]
+
+
+# --------------------------------------------------------------------------- #
+# Statements and declarations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Assignment:
+    target: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class StoreStatement:
+    array: str
+    index: Expression
+    value: Expression
+
+
+Statement = Union[Assignment, StoreStatement]
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """Top-level declaration.
+
+    ``kind`` is one of:
+
+    * ``"input"`` -- loop-invariant live-in scalar,
+    * ``"const"`` -- compile-time constant scalar,
+    * ``"acc"`` -- loop-carried scalar (reads before the re-definition see
+      the previous iteration's value),
+    * ``"array"`` -- memory region accessed with ``load`` / ``store``.
+    """
+
+    kind: str
+    name: str
+    value: Optional[int] = None
+    size: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Loop:
+    induction_variable: str
+    start: int
+    stop: int
+    body: Sequence[Statement]
+
+    @property
+    def trip_count(self) -> int:
+        return max(0, self.stop - self.start)
+
+
+@dataclass(frozen=True)
+class Program:
+    declarations: Sequence[Declaration]
+    loop: Loop
+
+    def declaration(self, name: str) -> Optional[Declaration]:
+        for decl in self.declarations:
+            if decl.name == name:
+                return decl
+        return None
+
+    def arrays(self) -> List[Declaration]:
+        return [d for d in self.declarations if d.kind == "array"]
+
+    def accumulators(self) -> List[Declaration]:
+        return [d for d in self.declarations if d.kind == "acc"]

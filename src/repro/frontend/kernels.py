@@ -1,0 +1,122 @@
+"""Example loop kernels written in the front-end language.
+
+These are small, fully executable kernels used by the examples and the test
+suite to exercise the complete flow: source text -> DFG -> mapping ->
+cycle-level simulation -> comparison against the sequential reference. They
+are intentionally written like the MiBench/Rodinia inner loops the paper
+targets (accumulators, table lookups, stencils, reductions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+EXAMPLE_KERNELS: Dict[str, str] = {
+    # Sum of products of two vectors (the "hello world" of CGRA mapping).
+    "dot_product": """
+        array a[64];
+        array b[64];
+        acc sum = 0;
+        for i in 0..64 {
+            x = load(a, i);
+            y = load(b, i);
+            sum = sum + x * y;
+        }
+    """,
+    # CRC-style table-less checksum with a shift/xor recurrence.
+    "crc8": """
+        array data[32];
+        const poly = 29;
+        acc crc = 255;
+        for i in 0..32 {
+            byte = load(data, i);
+            mixed = crc ^ byte;
+            bit = mixed & 1;
+            shifted = mixed >> 1;
+            crc = bit ? (shifted ^ poly) : shifted;
+        }
+    """,
+    # 3-tap FIR filter with explicit delay line carried across iterations.
+    "fir3": """
+        array samples[48];
+        array out[48];
+        const c0 = 3;
+        const c1 = 5;
+        const c2 = 2;
+        acc z1 = 0;
+        acc z2 = 0;
+        for i in 0..48 {
+            x = load(samples, i);
+            y = c0 * x + c1 * z1 + c2 * z2;
+            store(out, i, y);
+            z2 = z1;
+            z1 = x;
+        }
+    """,
+    # Population count over a word per element (bitcount-like).
+    "bitcount4": """
+        array words[32];
+        acc total = 0;
+        for i in 0..32 {
+            w = load(words, i);
+            b0 = w & 1;
+            b1 = (w >> 1) & 1;
+            b2 = (w >> 2) & 1;
+            b3 = (w >> 3) & 1;
+            total = total + b0 + b1 + b2 + b3;
+        }
+    """,
+    # 1D 3-point stencil (hotspot-like) with saturation.
+    "stencil3": """
+        array grid[66];
+        array result[64];
+        const wc = 4;
+        const wl = 1;
+        const wr = 1;
+        acc energy = 0;
+        for i in 0..64 {
+            left = load(grid, i);
+            center = load(grid, i + 1);
+            right = load(grid, i + 2);
+            value = wl * left + wc * center + wr * right;
+            clipped = min(value, 4095);
+            store(result, i, clipped);
+            energy = energy + clipped;
+        }
+    """,
+    # Sum of absolute differences (SUSAN / motion-estimation flavour).
+    "sad": """
+        array ref[40];
+        array cur[40];
+        acc sad = 0;
+        for i in 0..40 {
+            r = load(ref, i);
+            c = load(cur, i);
+            d = abs(r - c);
+            sad = sad + d;
+        }
+    """,
+    # Running maximum with index tracking (stringsearch / nw flavour).
+    "running_max": """
+        array scores[50];
+        acc best = 0;
+        acc best_index = 0;
+        for i in 0..50 {
+            s = load(scores, i);
+            better = s > best;
+            best = better ? s : best;
+            best_index = better ? i : best_index;
+        }
+    """,
+}
+
+
+def example_kernel_source(name: str) -> str:
+    """Source text of one example kernel."""
+    try:
+        return EXAMPLE_KERNELS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown example kernel {name!r}; "
+            f"available: {', '.join(sorted(EXAMPLE_KERNELS))}"
+        ) from exc

@@ -1,0 +1,109 @@
+"""Tokenizer for the loop-kernel language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class LexerError(ValueError):
+    """Raised on unrecognised input."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {"input", "const", "acc", "array", "for", "in", "load", "store",
+     "min", "max", "abs", "output"}
+)
+
+# Order matters: longest operators first.
+_OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">", "?", ":",
+)
+_PUNCTUATION = ("(", ")", "{", "}", "[", "]", ",", ";", "=", "..")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<newline>\n)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<dots>\.\.)
+  | (?P<op><<|>>|<=|>=|==|!=|[+\-*/%&|^~<>?:])
+  | (?P<punct>[(){}\[\],;=])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn ``source`` into a token list terminated by an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise LexerError(
+                f"unexpected character {source[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "newline":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+        elif kind == "ident":
+            token_kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(token_kind, text, line, column))
+        elif kind == "dots":
+            tokens.append(Token(TokenKind.PUNCT, text, line, column))
+        elif kind == "op":
+            tokens.append(Token(TokenKind.OP, text, line, column))
+        elif kind == "punct":
+            tokens.append(Token(TokenKind.PUNCT, text, line, column))
+    tokens.append(Token(TokenKind.EOF, "", line, 1))
+    return tokens
+
+
+def parse_number(text: str) -> int:
+    """Parse a decimal or hexadecimal literal."""
+    return int(text, 16) if text.lower().startswith("0x") else int(text, 10)

@@ -1,0 +1,40 @@
+"""Data Flow Graphs and modulo-scheduling analysis.
+
+* :mod:`repro.graphs.dfg` -- the DFG data structure (data dependencies and
+  loop-carried dependencies with iteration distances).
+* :mod:`repro.graphs.analysis` -- ASAP / ALAP / Mobility Schedule, ResII,
+  RecII and mII computations (paper Sec. IV-B, Table I).
+* :mod:`repro.graphs.kms` -- the Kernel Mobility Schedule obtained by folding
+  the Mobility Schedule by ``II`` (paper Table II).
+* :mod:`repro.graphs.generators` -- synthetic DFG generators used by tests
+  and property-based checks.
+"""
+
+from repro.graphs.dfg import DFG, DFGEdge, DFGNode, DependenceKind
+from repro.graphs.analysis import (
+    MobilitySchedule,
+    asap_schedule,
+    alap_schedule,
+    mobility_schedule,
+    res_ii,
+    rec_ii,
+    min_ii,
+    critical_path_length,
+)
+from repro.graphs.kms import KernelMobilitySchedule
+
+__all__ = [
+    "DFG",
+    "DFGEdge",
+    "DFGNode",
+    "DependenceKind",
+    "MobilitySchedule",
+    "asap_schedule",
+    "alap_schedule",
+    "mobility_schedule",
+    "res_ii",
+    "rec_ii",
+    "min_ii",
+    "critical_path_length",
+    "KernelMobilitySchedule",
+]

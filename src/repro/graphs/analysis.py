@@ -1,0 +1,225 @@
+"""Modulo-scheduling analysis: ASAP, ALAP, Mobility Schedule, ResII, RecII.
+
+These are the quantities of paper Sec. IV-B and Table I. All computations
+honour per-opcode latencies from :mod:`repro.arch.isa`; with the default
+unit latencies they reduce to the classic formulation used in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+
+from repro.graphs.dfg import DFG, DependenceKind
+
+
+def _topological_order(dfg: DFG) -> List[int]:
+    """Topological order of the data-dependence DAG."""
+    dag = dfg.data_dag()
+    return list(nx.topological_sort(dag))
+
+
+def asap_schedule(dfg: DFG) -> Dict[int, int]:
+    """As-soon-as-possible start time of every node (data edges only)."""
+    order = _topological_order(dfg)
+    asap: Dict[int, int] = {}
+    for node_id in order:
+        earliest = 0
+        for edge in dfg.in_edges(node_id):
+            if edge.kind is not DependenceKind.DATA:
+                continue
+            earliest = max(earliest, asap[edge.src] + dfg.node(edge.src).latency)
+        asap[node_id] = earliest
+    return asap
+
+
+def critical_path_length(dfg: DFG) -> int:
+    """Length (in cycles) of the longest data-dependence chain."""
+    asap = asap_schedule(dfg)
+    return max(asap[n] + dfg.node(n).latency for n in dfg.node_ids())
+
+
+def alap_schedule(dfg: DFG, horizon: Optional[int] = None) -> Dict[int, int]:
+    """As-late-as-possible start times for a schedule of length ``horizon``.
+
+    ``horizon`` defaults to the critical path length, which is the tightest
+    feasible schedule length and reproduces the paper's Table I.
+    """
+    length = critical_path_length(dfg)
+    if horizon is None:
+        horizon = length
+    if horizon < length:
+        raise ValueError(
+            f"horizon {horizon} is shorter than the critical path ({length})"
+        )
+    order = _topological_order(dfg)
+    alap: Dict[int, int] = {}
+    for node_id in reversed(order):
+        node_latency = dfg.node(node_id).latency
+        latest = horizon - node_latency
+        for edge in dfg.out_edges(node_id):
+            if edge.kind is not DependenceKind.DATA:
+                continue
+            latest = min(latest, alap[edge.dst] - node_latency)
+        alap[node_id] = latest
+    return alap
+
+
+@dataclass
+class MobilitySchedule:
+    """The Mobility Schedule (MobS): per-node interval of legal start times.
+
+    ``rows()`` reproduces the presentation of Table I: for every time step
+    the set of nodes whose mobility interval contains it.
+    """
+
+    dfg: DFG
+    asap: Dict[int, int]
+    alap: Dict[int, int]
+    length: int
+
+    @classmethod
+    def compute(cls, dfg: DFG, slack: int = 0) -> "MobilitySchedule":
+        """Build the MobS, optionally extending the horizon by ``slack``."""
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        asap = asap_schedule(dfg)
+        length = critical_path_length(dfg) + slack
+        alap = alap_schedule(dfg, horizon=length)
+        return cls(dfg=dfg, asap=asap, alap=alap, length=length)
+
+    def earliest(self, node_id: int) -> int:
+        return self.asap[node_id]
+
+    def latest(self, node_id: int) -> int:
+        return self.alap[node_id]
+
+    def mobility(self, node_id: int) -> int:
+        """Number of alternative start times of a node minus one."""
+        return self.alap[node_id] - self.asap[node_id]
+
+    def window(self, node_id: int) -> range:
+        """Legal start times of a node."""
+        return range(self.asap[node_id], self.alap[node_id] + 1)
+
+    def rows(self) -> List[List[int]]:
+        """MobS rows: nodes whose window contains each time step."""
+        rows: List[List[int]] = [[] for _ in range(self.length)]
+        for node_id in self.dfg.node_ids():
+            for t in self.window(node_id):
+                rows[t].append(node_id)
+        return [sorted(r) for r in rows]
+
+    def asap_rows(self) -> List[List[int]]:
+        """ASAP rows as presented in Table I."""
+        rows: List[List[int]] = [[] for _ in range(self.length)]
+        for node_id, t in self.asap.items():
+            rows[t].append(node_id)
+        return [sorted(r) for r in rows]
+
+    def alap_rows(self) -> List[List[int]]:
+        """ALAP rows as presented in Table I."""
+        rows: List[List[int]] = [[] for _ in range(self.length)]
+        for node_id, t in self.alap.items():
+            rows[t].append(node_id)
+        return [sorted(r) for r in rows]
+
+    def validate(self) -> None:
+        """Sanity-check the window of every node."""
+        for node_id in self.dfg.node_ids():
+            if self.asap[node_id] > self.alap[node_id]:
+                raise ValueError(
+                    f"node {node_id} has empty mobility window "
+                    f"[{self.asap[node_id]}, {self.alap[node_id]}]"
+                )
+
+
+def mobility_schedule(dfg: DFG, slack: int = 0) -> MobilitySchedule:
+    """Convenience wrapper around :meth:`MobilitySchedule.compute`."""
+    return MobilitySchedule.compute(dfg, slack=slack)
+
+
+# --------------------------------------------------------------------------- #
+# Minimum iteration interval
+# --------------------------------------------------------------------------- #
+def res_ii(dfg: DFG, num_pes: int) -> int:
+    """Resource-constrained minimum II: ``ceil(|V_G| / |V_Mi|)``."""
+    if num_pes < 1:
+        raise ValueError("number of PEs must be positive")
+    return math.ceil(dfg.num_nodes / num_pes)
+
+
+def _has_positive_cycle(dfg: DFG, ii: int) -> bool:
+    """True if some dependence cycle needs more than ``ii`` cycles per turn.
+
+    Edge ``u -> v`` with distance ``d`` contributes weight ``lat(u) - ii*d``;
+    a cycle of positive total weight means the recurrence cannot complete
+    within ``ii`` cycles per iteration.
+    """
+    graph = nx.DiGraph()
+    for node in dfg.nodes():
+        graph.add_node(node.id)
+    for edge in dfg.edges():
+        weight = dfg.node(edge.src).latency - ii * edge.distance
+        # keep the most constraining (largest) weight between a node pair
+        if graph.has_edge(edge.src, edge.dst):
+            if weight > graph[edge.src][edge.dst]["weight"]:
+                graph[edge.src][edge.dst]["weight"] = weight
+        else:
+            graph.add_edge(edge.src, edge.dst, weight=weight)
+    # A positive cycle under `weight` is a negative cycle under `-weight`.
+    negated = nx.DiGraph()
+    negated.add_nodes_from(graph.nodes())
+    for u, v, data in graph.edges(data=True):
+        negated.add_edge(u, v, weight=-data["weight"])
+    return nx.negative_edge_cycle(negated, weight="weight")
+
+
+def rec_ii(dfg: DFG) -> int:
+    """Recurrence-constrained minimum II.
+
+    ``RecII = max over cycles of ceil(length / distance)`` (paper Sec. IV-B).
+    Computed as the smallest II for which no dependence cycle has positive
+    slack-violating weight, via Bellman-Ford cycle detection; this avoids
+    enumerating the (possibly exponential) set of simple cycles.
+    """
+    if not dfg.loop_carried_edges():
+        return 1
+    lo, hi = 1, max(1, sum(node.latency for node in dfg.nodes()))
+    if _has_positive_cycle(dfg, hi):
+        raise ValueError("dependence graph has a cycle with zero total distance")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(dfg, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def rec_ii_by_cycle_enumeration(dfg: DFG) -> int:
+    """Reference RecII computed by enumerating simple cycles.
+
+    Exponential in the worst case -- only used by tests to cross-check
+    :func:`rec_ii` on small graphs.
+    """
+    graph = dfg.full_digraph()
+    best = 1
+    for cycle in nx.simple_cycles(graph):
+        length = sum(dfg.node(n).latency for n in cycle)
+        distance = 0
+        for i, u in enumerate(cycle):
+            v = cycle[(i + 1) % len(cycle)]
+            distance += graph[u][v]["distance"]
+        if distance == 0:
+            raise ValueError(f"cycle {cycle} has zero total distance")
+        best = max(best, math.ceil(length / distance))
+    return best
+
+
+def min_ii(dfg: DFG, num_pes: int) -> int:
+    """The paper's ``mII = max(ResII, RecII)``."""
+    return max(res_ii(dfg, num_pes), rec_ii(dfg))

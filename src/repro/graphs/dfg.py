@@ -1,0 +1,367 @@
+"""Data Flow Graph (DFG) of a loop body.
+
+Nodes represent instructions; directed edges represent either intra-iteration
+data dependencies or loop-carried dependencies with a positive iteration
+distance (paper Sec. III-A, Fig. 2a). The time phase works on this directed
+form; once a schedule fixes every node's kernel slot, the mapper switches to
+the *labelled undirected* view required by the monomorphism formulation
+(paper Sec. IV-A), available via :meth:`DFG.undirected_edges`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.arch.isa import Opcode, arity as opcode_arity, latency as opcode_latency
+
+
+class DependenceKind(enum.Enum):
+    """Kind of a DFG edge."""
+
+    DATA = "data"
+    LOOP_CARRIED = "loop_carried"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DFGNode:
+    """One instruction of the loop body.
+
+    Attributes:
+        id: unique integer identifier.
+        opcode: the operation performed.
+        name: optional human-readable name (e.g. the IR value it defines).
+        value: literal value for ``CONST`` nodes, initial value for ``PHI``
+            and ``INPUT`` nodes, array name for memory operations.
+    """
+
+    id: int
+    opcode: Opcode = Opcode.ADD
+    name: str = ""
+    value: Optional[int] = None
+    array: Optional[str] = None
+
+    @property
+    def latency(self) -> int:
+        return opcode_latency(self.opcode)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or str(self.opcode)
+        return f"n{self.id}:{label}"
+
+
+@dataclass(frozen=True)
+class DFGEdge:
+    """A dependence between two instructions.
+
+    ``distance`` is the iteration distance: 0 for intra-iteration data
+    dependencies, >= 1 for loop-carried dependencies. ``operand_index`` is
+    the position of the value in the destination's operand list (used by the
+    simulators; irrelevant to the mapper itself).
+    """
+
+    src: int
+    dst: int
+    kind: DependenceKind = DependenceKind.DATA
+    distance: int = 0
+    operand_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is DependenceKind.DATA and self.distance != 0:
+            raise ValueError("data dependencies must have distance 0")
+        if self.kind is DependenceKind.LOOP_CARRIED and self.distance < 1:
+            raise ValueError("loop-carried dependencies must have distance >= 1")
+
+    @property
+    def is_loop_carried(self) -> bool:
+        return self.kind is DependenceKind.LOOP_CARRIED
+
+
+class DFG:
+    """A loop-body data flow graph.
+
+    The graph may contain cycles only through loop-carried edges; the data
+    (distance-0) subgraph must be a DAG, which :meth:`validate` checks.
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self._nodes: Dict[int, DFGNode] = {}
+        self._edges: List[DFGEdge] = []
+        self._succ: Dict[int, List[DFGEdge]] = {}
+        self._pred: Dict[int, List[DFGEdge]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        node_id: Optional[int] = None,
+        opcode: Opcode = Opcode.ADD,
+        name: str = "",
+        value: Optional[int] = None,
+        array: Optional[str] = None,
+    ) -> DFGNode:
+        """Add an instruction node and return it.
+
+        If ``node_id`` is omitted the next free integer id is used.
+        """
+        if node_id is None:
+            node_id = max(self._nodes, default=-1) + 1
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node_id}")
+        node = DFGNode(id=node_id, opcode=opcode, name=name, value=value, array=array)
+        self._nodes[node_id] = node
+        self._succ[node_id] = []
+        self._pred[node_id] = []
+        return node
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        kind: DependenceKind = DependenceKind.DATA,
+        distance: int = 0,
+        operand_index: int = 0,
+    ) -> DFGEdge:
+        """Add a dependence edge from node ``src`` to node ``dst``."""
+        if src not in self._nodes:
+            raise ValueError(f"unknown source node {src}")
+        if dst not in self._nodes:
+            raise ValueError(f"unknown destination node {dst}")
+        if kind is DependenceKind.DATA and src == dst:
+            raise ValueError("a data dependence cannot be a self-loop")
+        if kind is DependenceKind.LOOP_CARRIED and distance == 0:
+            distance = 1
+        edge = DFGEdge(src=src, dst=dst, kind=kind, distance=distance,
+                       operand_index=operand_index)
+        self._edges.append(edge)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        return edge
+
+    def add_data_edge(self, src: int, dst: int, operand_index: int = 0) -> DFGEdge:
+        """Convenience wrapper for an intra-iteration data dependence."""
+        return self.add_edge(src, dst, DependenceKind.DATA, 0, operand_index)
+
+    def add_loop_carried_edge(
+        self, src: int, dst: int, distance: int = 1, operand_index: int = 0
+    ) -> DFGEdge:
+        """Convenience wrapper for a loop-carried dependence."""
+        return self.add_edge(src, dst, DependenceKind.LOOP_CARRIED, distance,
+                             operand_index)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node(self, node_id: int) -> DFGNode:
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List[DFGNode]:
+        """All nodes, ordered by id."""
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def edges(self) -> List[DFGEdge]:
+        return list(self._edges)
+
+    def data_edges(self) -> List[DFGEdge]:
+        return [e for e in self._edges if e.kind is DependenceKind.DATA]
+
+    def loop_carried_edges(self) -> List[DFGEdge]:
+        return [e for e in self._edges if e.kind is DependenceKind.LOOP_CARRIED]
+
+    def out_edges(self, node_id: int) -> List[DFGEdge]:
+        return list(self._succ[node_id])
+
+    def in_edges(self, node_id: int) -> List[DFGEdge]:
+        return list(self._pred[node_id])
+
+    def successors(self, node_id: int) -> List[int]:
+        return [e.dst for e in self._succ[node_id]]
+
+    def predecessors(self, node_id: int) -> List[int]:
+        return [e.src for e in self._pred[node_id]]
+
+    def operands(self, node_id: int) -> List[DFGEdge]:
+        """Incoming edges sorted by operand index (for the simulators)."""
+        return sorted(self._pred[node_id], key=lambda e: e.operand_index)
+
+    # ------------------------------------------------------------------ #
+    # Views used by the mapper
+    # ------------------------------------------------------------------ #
+    def undirected_edges(self) -> Set[Tuple[int, int]]:
+        """All dependencies as unordered pairs (the paper's ``E_G``).
+
+        Once a schedule is fixed, edge direction is redundant (Sec. IV-B);
+        the monomorphism search only needs the adjacency requirement.
+        Parallel edges and 2-cycles collapse onto a single undirected edge.
+        """
+        pairs: Set[Tuple[int, int]] = set()
+        for e in self._edges:
+            if e.src == e.dst:
+                continue
+            a, b = (e.src, e.dst) if e.src < e.dst else (e.dst, e.src)
+            pairs.add((a, b))
+        return pairs
+
+    def neighbor_ids(self, node_id: int) -> Set[int]:
+        """Undirected neighbourhood of a node (self excluded)."""
+        neighbors = {e.dst for e in self._succ[node_id]}
+        neighbors |= {e.src for e in self._pred[node_id]}
+        neighbors.discard(node_id)
+        return neighbors
+
+    def data_dag(self) -> nx.DiGraph:
+        """The distance-0 subgraph as a networkx DAG."""
+        graph = nx.DiGraph()
+        for node in self.nodes():
+            graph.add_node(node.id, opcode=node.opcode)
+        for e in self.data_edges():
+            graph.add_edge(e.src, e.dst)
+        return graph
+
+    def full_digraph(self) -> nx.DiGraph:
+        """The complete directed dependence graph with distances."""
+        graph = nx.DiGraph()
+        for node in self.nodes():
+            graph.add_node(node.id, opcode=node.opcode)
+        for e in self._edges:
+            if graph.has_edge(e.src, e.dst):
+                # keep the smallest distance (most constraining)
+                if e.distance < graph[e.src][e.dst]["distance"]:
+                    graph[e.src][e.dst]["distance"] = e.distance
+            else:
+                graph.add_edge(e.src, e.dst, distance=e.distance)
+        return graph
+
+    def to_networkx(self) -> nx.Graph:
+        """Undirected networkx view (used by the cross-check matcher)."""
+        graph = nx.Graph()
+        for node in self.nodes():
+            graph.add_node(node.id, opcode=node.opcode)
+        for a, b in self.undirected_edges():
+            graph.add_edge(a, b)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Validation and utilities
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        if not self._nodes:
+            raise ValueError("DFG has no nodes")
+        dag = self.data_dag()
+        if not nx.is_directed_acyclic_graph(dag):
+            cycle = nx.find_cycle(dag)
+            raise ValueError(f"data-dependence subgraph has a cycle: {cycle}")
+        for node in self.nodes():
+            expected = opcode_arity(node.opcode)
+            provided = len(self._pred[node.id])
+            if node.opcode is Opcode.PHI:
+                continue  # PHI takes its single operand through a back edge
+            if provided > max(expected, 0) and expected == 0:
+                raise ValueError(
+                    f"node {node} takes no operands but has {provided} incoming edges"
+                )
+
+    def copy(self, name: Optional[str] = None) -> "DFG":
+        clone = DFG(name or self.name)
+        for node in self.nodes():
+            clone.add_node(node.id, node.opcode, node.name, node.value, node.array)
+        for e in self._edges:
+            clone.add_edge(e.src, e.dst, e.kind, e.distance, e.operand_index)
+        return clone
+
+    def relabeled(self, mapping: Dict[int, int], name: Optional[str] = None) -> "DFG":
+        """Return a copy with node ids renamed according to ``mapping``."""
+        clone = DFG(name or self.name)
+        for node in self.nodes():
+            clone.add_node(mapping[node.id], node.opcode, node.name, node.value,
+                           node.array)
+        for e in self._edges:
+            clone.add_edge(mapping[e.src], mapping[e.dst], e.kind, e.distance,
+                           e.operand_index)
+        return clone
+
+    def source_nodes(self) -> List[int]:
+        """Nodes with no incoming data edges."""
+        return [n for n in self.node_ids()
+                if not any(e.kind is DependenceKind.DATA for e in self._pred[n])]
+
+    def sink_nodes(self) -> List[int]:
+        """Nodes with no outgoing data edges."""
+        return [n for n in self.node_ids()
+                if not any(e.kind is DependenceKind.DATA for e in self._succ[n])]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "id": n.id,
+                    "opcode": n.opcode.value,
+                    "name": n.name,
+                    "value": n.value,
+                    "array": n.array,
+                }
+                for n in self.nodes()
+            ],
+            "edges": [
+                {
+                    "src": e.src,
+                    "dst": e.dst,
+                    "kind": e.kind.value,
+                    "distance": e.distance,
+                    "operand_index": e.operand_index,
+                }
+                for e in self._edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DFG":
+        dfg = cls(data.get("name", "dfg"))
+        for n in data["nodes"]:
+            dfg.add_node(n["id"], Opcode(n["opcode"]), n.get("name", ""),
+                         n.get("value"), n.get("array"))
+        for e in data["edges"]:
+            dfg.add_edge(e["src"], e["dst"], DependenceKind(e["kind"]),
+                         e.get("distance", 0), e.get("operand_index", 0))
+        return dfg
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DFG":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DFG(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, loop_carried={len(self.loop_carried_edges())})"
+        )

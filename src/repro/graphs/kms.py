@@ -1,0 +1,121 @@
+"""Kernel Mobility Schedule (KMS).
+
+The KMS (paper Sec. IV-B, Table II) is obtained by folding the Mobility
+Schedule by ``II``: a node that may start at absolute time ``t`` appears in
+kernel slot ``t mod II`` with iteration subscript ``t div II``. It is "the
+superset of all possible schedules for a given II" and is the structure the
+time-phase constraints are formulated over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.analysis import MobilitySchedule
+from repro.graphs.dfg import DFG
+
+
+@dataclass(frozen=True)
+class KMSEntry:
+    """One candidate position of a node in the kernel.
+
+    Attributes:
+        node: DFG node id.
+        slot: kernel time step (``t mod II``).
+        iteration: folding subscript (``t div II``).
+        time: the absolute start time ``t`` this entry corresponds to.
+    """
+
+    node: int
+    slot: int
+    iteration: int
+    time: int
+
+
+class KernelMobilitySchedule:
+    """Folding of a :class:`MobilitySchedule` by a given ``II``."""
+
+    def __init__(self, mobs: MobilitySchedule, ii: int) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.mobs = mobs
+        self.ii = ii
+        self._entries: List[KMSEntry] = []
+        for node_id in mobs.dfg.node_ids():
+            for t in mobs.window(node_id):
+                self._entries.append(
+                    KMSEntry(node=node_id, slot=t % ii, iteration=t // ii, time=t)
+                )
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def dfg(self) -> DFG:
+        return self.mobs.dfg
+
+    @property
+    def num_foldings(self) -> int:
+        """Number of loop iterations interleaved: ``ceil(len(MobS) / II)``."""
+        return math.ceil(self.mobs.length / self.ii)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[KMSEntry]:
+        return list(self._entries)
+
+    def entries_for_node(self, node_id: int) -> List[KMSEntry]:
+        return [e for e in self._entries if e.node == node_id]
+
+    def entries_for_slot(self, slot: int) -> List[KMSEntry]:
+        if not (0 <= slot < self.ii):
+            raise ValueError(f"slot {slot} out of range for II={self.ii}")
+        return [e for e in self._entries if e.slot == slot]
+
+    def candidate_slots(self, node_id: int) -> Set[int]:
+        """Kernel slots a node may occupy."""
+        return {e.slot for e in self.entries_for_node(node_id)}
+
+    def candidate_times(self, node_id: int) -> List[int]:
+        """Absolute start times a node may take (its mobility window)."""
+        return list(self.mobs.window(node_id))
+
+    def slot_of_time(self, t: int) -> int:
+        return t % self.ii
+
+    def iteration_of_time(self, t: int) -> int:
+        return t // self.ii
+
+    # ------------------------------------------------------------------ #
+    # Presentation (Table II)
+    # ------------------------------------------------------------------ #
+    def rows(self) -> List[List[Tuple[int, int]]]:
+        """KMS rows: for each slot, the ``(node, iteration)`` pairs in it."""
+        rows: List[List[Tuple[int, int]]] = [[] for _ in range(self.ii)]
+        for entry in self._entries:
+            rows[entry.slot].append((entry.node, entry.iteration))
+        return [sorted(row, key=lambda p: (p[1], p[0])) for row in rows]
+
+    def formatted_rows(self) -> List[str]:
+        """Human-readable rows, ``node_iteration`` per entry (as in Table II)."""
+        lines = []
+        for slot, row in enumerate(self.rows()):
+            cells = " ".join(f"{node}_{it}" for node, it in row)
+            lines.append(f"{slot}: {cells}")
+        return lines
+
+    def max_population(self) -> int:
+        """The largest number of *distinct nodes* that may share a slot."""
+        return max(
+            len({node for node, _ in row}) for row in self.rows()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelMobilitySchedule(ii={self.ii}, "
+            f"foldings={self.num_foldings}, entries={self.num_entries})"
+        )

@@ -1,0 +1,66 @@
+"""networkx-based monomorphism cross-check.
+
+Only used by the test-suite: on small instances, the result of our own
+search (:mod:`repro.matching.monomorphism`) is compared against networkx's
+``GraphMatcher`` run in (induced-free) monomorphism mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Sequence
+
+import networkx as nx
+from networkx.algorithms import isomorphism
+
+from repro.matching.monomorphism import PatternGraph
+
+
+def _pattern_to_nx(pattern: PatternGraph) -> nx.Graph:
+    graph = nx.Graph()
+    for v in pattern.vertices:
+        graph.add_node(v, label=pattern.labels[v])
+    for v, neighbors in pattern.adjacency.items():
+        for u in neighbors:
+            if u > v:
+                graph.add_edge(v, u)
+    return graph
+
+
+def networkx_monomorphism(
+    pattern: PatternGraph, target: nx.Graph
+) -> Optional[Dict[int, int]]:
+    """Find a label-preserving monomorphism with networkx, or ``None``.
+
+    ``target`` must carry a ``label`` attribute on every node. Note that
+    networkx's ``subgraph_monomorphisms_iter`` maps *target* nodes to
+    *pattern* nodes, so the returned dictionary is inverted here to match
+    the pattern -> target convention used elsewhere.
+    """
+    pattern_nx = _pattern_to_nx(pattern)
+    matcher = isomorphism.GraphMatcher(
+        target,
+        pattern_nx,
+        node_match=lambda t_attrs, p_attrs: t_attrs.get("label") == p_attrs.get("label"),
+    )
+    for big_to_small in matcher.subgraph_monomorphisms_iter():
+        return {pattern_vertex: target_vertex
+                for target_vertex, pattern_vertex in big_to_small.items()}
+    return None
+
+
+def count_networkx_monomorphisms(
+    pattern: PatternGraph, target: nx.Graph, limit: int = 1000
+) -> int:
+    """Count (up to ``limit``) distinct monomorphisms; test helper."""
+    pattern_nx = _pattern_to_nx(pattern)
+    matcher = isomorphism.GraphMatcher(
+        target,
+        pattern_nx,
+        node_match=lambda t_attrs, p_attrs: t_attrs.get("label") == p_attrs.get("label"),
+    )
+    count = 0
+    for _ in matcher.subgraph_monomorphisms_iter():
+        count += 1
+        if count >= limit:
+            break
+    return count

@@ -1,0 +1,13 @@
+"""Rendering helpers for experiment tables and figures (ASCII + CSV)."""
+
+from repro.reporting.tables import Table, format_seconds, format_ratio
+from repro.reporting.figures import Series, render_line_chart, series_to_csv
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_ratio",
+    "Series",
+    "render_line_chart",
+    "series_to_csv",
+]

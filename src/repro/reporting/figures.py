@@ -1,0 +1,108 @@
+"""ASCII figure rendering (for the paper's Fig. 5 style plots)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One line of a figure."""
+
+    label: str
+    xs: List[str] = field(default_factory=list)
+    ys: List[Optional[float]] = field(default_factory=list)
+
+    def add(self, x: str, y: Optional[float]) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+def _transform(value: float, log_scale: bool) -> float:
+    if log_scale:
+        return math.log10(max(value, 1e-6))
+    return value
+
+
+def render_line_chart(
+    series_list: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    log_scale: bool = True,
+    title: str = "",
+    y_label: str = "seconds",
+) -> str:
+    """Render series as an ASCII chart (x = categories, y = values).
+
+    Missing values (``None``, e.g. timeouts) are skipped. A logarithmic y
+    axis is used by default since compilation times span several orders of
+    magnitude (as in the paper's Fig. 5).
+    """
+    points = [
+        _transform(y, log_scale)
+        for series in series_list
+        for y in series.ys
+        if y is not None
+    ]
+    if not points:
+        return "(no data)"
+    lo, hi = min(points), max(points)
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    categories = series_list[0].xs
+    column_width = max(6, width // max(1, len(categories)))
+
+    grid = [[" "] * (column_width * len(categories)) for _ in range(height)]
+    markers = "ox+*#@"
+    for series_index, series in enumerate(series_list):
+        marker = markers[series_index % len(markers)]
+        for category_index, y in enumerate(series.ys):
+            if y is None:
+                continue
+            norm = (_transform(y, log_scale) - lo) / (hi - lo)
+            row = height - 1 - int(round(norm * (height - 1)))
+            col = category_index * column_width + column_width // 2
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = 10 ** hi if log_scale else hi
+    bottom = 10 ** lo if log_scale else lo
+    lines.append(f"{y_label} (top={top:.3g}, bottom={bottom:.3g}"
+                 f"{', log scale' if log_scale else ''})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * (column_width * len(categories)))
+    axis = "".join(c.center(column_width) for c in categories)
+    lines.append(" " + axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {series.label}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(series_list: Sequence[Series],
+                  path: Optional[str] = None) -> str:
+    """Serialise series as CSV (one row per x value, one column per series)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    categories = series_list[0].xs if series_list else []
+    writer.writerow(["x"] + [s.label for s in series_list])
+    for index, category in enumerate(categories):
+        row: List[object] = [category]
+        for series in series_list:
+            value = series.ys[index] if index < len(series.ys) else None
+            row.append("" if value is None else value)
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,88 @@
+"""Plain-text and CSV table rendering used by the experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Format a compilation time the way the paper's Table III does."""
+    if value is None:
+        return "TO"
+    if value < 0.005:
+        return "~0.01"
+    return f"{value:.2f}"
+
+
+def format_ratio(value: Optional[float]) -> str:
+    """Format a compilation-time ratio (CTR column)."""
+    if value is None:
+        return "-"
+    return f"{value:.2f}"
+
+
+def _to_text(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table."""
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render as aligned ASCII text."""
+        text_rows = [[_to_text(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in text_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in text_rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Serialise as CSV text, optionally writing it to ``path``."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(["" if c is None else c for c in row])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def column(self, name: str) -> List[Cell]:
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

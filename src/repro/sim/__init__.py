@@ -1,0 +1,35 @@
+"""Cycle-level CGRA execution and reference interpretation.
+
+The paper validates mappings structurally (the monomorphism properties).
+This package goes one step further and validates them *functionally*: a
+mapping is executed on a cycle-level model of the CGRA (PEs with register
+files readable by their neighbours, a shared data memory, the
+modulo-scheduled overlap of loop iterations) and the produced values are
+compared against a sequential reference interpretation of the DFG.
+
+* :mod:`repro.sim.machine` -- dynamic machine state (register files, memory).
+* :mod:`repro.sim.program` -- the per-PE kernel configuration derived from a
+  mapping (what the CGRA's instruction memory would hold).
+* :mod:`repro.sim.reference` -- sequential, iteration-by-iteration reference
+  interpreter of a DFG.
+* :mod:`repro.sim.executor` -- software-pipelined execution of a mapping,
+  with runtime checks of adjacency, timing and register rotation.
+"""
+
+from repro.sim.machine import CGRAMachine, DataMemory, SimulationError
+from repro.sim.program import ConfigurationMemory, KernelInstruction
+from repro.sim.reference import ReferenceInterpreter, ReferenceTrace
+from repro.sim.executor import MappedLoopExecutor, ExecutionTrace, run_and_compare
+
+__all__ = [
+    "CGRAMachine",
+    "DataMemory",
+    "SimulationError",
+    "ConfigurationMemory",
+    "KernelInstruction",
+    "ReferenceInterpreter",
+    "ReferenceTrace",
+    "MappedLoopExecutor",
+    "ExecutionTrace",
+    "run_and_compare",
+]

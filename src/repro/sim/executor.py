@@ -1,0 +1,222 @@
+"""Cycle-level execution of a mapping (software-pipelined loop).
+
+The executor advances cycle by cycle. At absolute cycle ``c`` the operation
+of node ``v`` for loop iteration ``k`` executes iff ``c == k * II + T_v``;
+in steady state this is exactly the kernel of the modulo schedule, while the
+first ``(stages - 1) * II`` cycles form the prologue and the last ones the
+epilogue (paper Fig. 2b). During execution the model checks the properties
+that make the mapping *physically* runnable:
+
+* one operation per PE per cycle,
+* operands read only from the register file of the producing PE, which must
+  be the consumer's own PE or one of its neighbours,
+* the value read is the one of the expected iteration (rotating registers,
+  see :class:`repro.sim.program.ConfigurationMemory`),
+* loads/stores go through the shared data memory.
+
+The produced values are compared against the sequential reference
+(:mod:`repro.sim.reference`); a mismatch is reported as a
+:class:`~repro.sim.machine.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.isa import Opcode
+from repro.core.mapping import Mapping
+from repro.sim.machine import CGRAMachine, DataMemory, SimulationError
+from repro.sim.program import ConfigurationMemory, KernelInstruction
+from repro.sim.reference import ReferenceInterpreter, ReferenceTrace, evaluate_node
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of executing a mapping for ``iterations`` loop iterations."""
+
+    values: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    memory: Optional[DataMemory] = None
+    iterations: int = 0
+    cycles: int = 0
+    prologue_cycles: int = 0
+    epilogue_cycles: int = 0
+
+    def value(self, node_id: int, iteration: int) -> int:
+        return self.values[(node_id, iteration)]
+
+    def last_value(self, node_id: int) -> int:
+        return self.values[(node_id, self.iterations - 1)]
+
+
+class MappedLoopExecutor:
+    """Executes a :class:`~repro.core.mapping.Mapping` cycle by cycle."""
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        memory: Optional[DataMemory] = None,
+        initial_values: Optional[Dict[int, int]] = None,
+        inputs: Optional[Dict[str, int]] = None,
+        loop_start: int = 0,
+        enforce_register_capacity: bool = False,
+    ) -> None:
+        self.mapping = mapping
+        self.configuration = ConfigurationMemory(mapping)
+        self.memory = memory if memory is not None else DataMemory()
+        self.initial_values = dict(initial_values or {})
+        self.inputs = dict(inputs or {})
+        self.loop_start = loop_start
+        self.machine = CGRAMachine(
+            mapping.cgra,
+            self.memory,
+            enforce_register_capacity=enforce_register_capacity,
+        )
+        self._declare_missing_arrays()
+
+    def _declare_missing_arrays(self) -> None:
+        for node in self.mapping.dfg.nodes():
+            if node.array and not self.memory.has_array(node.array):
+                self.memory.declare(node.array, 64)
+
+    # ------------------------------------------------------------------ #
+    def _initial_operand(self, src: int) -> int:
+        if src in self.initial_values:
+            return self.initial_values[src]
+        value = self.mapping.dfg.node(src).value
+        return int(value) if value is not None else 0
+
+    def _read_operands(
+        self,
+        instruction: KernelInstruction,
+        iteration: int,
+        cycle: int,
+    ) -> List[int]:
+        operands: List[int] = []
+        for source in instruction.operands:
+            source_iteration = iteration - source.distance
+            if source_iteration < 0:
+                operands.append(self._initial_operand(source.producer_node))
+                continue
+            producer = self.configuration.instruction(source.producer_node)
+            produced_cycle = source_iteration * self.mapping.ii + producer.start_time
+            if produced_cycle >= cycle:
+                raise SimulationError(
+                    f"node {instruction.node} (iteration {iteration}) reads the "
+                    f"value of node {source.producer_node} before it is produced "
+                    f"(cycle {cycle} vs {produced_cycle})"
+                )
+            copy = source_iteration % producer.rotating_copies
+            operands.append(
+                self.machine.read(
+                    reader_pe=instruction.pe,
+                    producer_pe=source.producer_pe,
+                    node=source.producer_node,
+                    copy=copy,
+                    iteration=source_iteration,
+                )
+            )
+        return operands
+
+    def run(self, iterations: int) -> ExecutionTrace:
+        """Execute ``iterations`` loop iterations on the CGRA model."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        mapping = self.mapping
+        ii = mapping.ii
+        total_cycles = mapping.total_cycles(iterations)
+        trace = ExecutionTrace(
+            memory=self.memory,
+            iterations=iterations,
+            cycles=total_cycles,
+            prologue_cycles=mapping.prologue_cycles(),
+            epilogue_cycles=mapping.epilogue_cycles(),
+        )
+
+        # For every cycle, collect (instruction, iteration) pairs due to fire.
+        for cycle in range(total_cycles):
+            busy_pes: Dict[int, int] = {}
+            for instruction in self.configuration.instructions.values():
+                offset = cycle - instruction.start_time
+                if offset < 0 or offset % ii != 0:
+                    continue
+                iteration = offset // ii
+                if iteration >= iterations:
+                    continue
+                if instruction.pe in busy_pes:
+                    raise SimulationError(
+                        f"PE {instruction.pe} is asked to execute nodes "
+                        f"{busy_pes[instruction.pe]} and {instruction.node} "
+                        f"in the same cycle {cycle}"
+                    )
+                busy_pes[instruction.pe] = instruction.node
+                operands = self._read_operands(instruction, iteration, cycle)
+                node = mapping.dfg.node(instruction.node)
+                value = evaluate_node(
+                    node,
+                    operands,
+                    iteration,
+                    self.memory,
+                    loop_start=self.loop_start,
+                    inputs=self.inputs,
+                )
+                copy = iteration % instruction.rotating_copies
+                self.machine.write(
+                    pe=instruction.pe,
+                    node=instruction.node,
+                    copy=copy,
+                    iteration=iteration,
+                    value=value,
+                )
+                trace.values[(instruction.node, iteration)] = value
+        return trace
+
+
+def run_and_compare(
+    mapping: Mapping,
+    iterations: int = 8,
+    memory: Optional[DataMemory] = None,
+    initial_values: Optional[Dict[int, int]] = None,
+    inputs: Optional[Dict[str, int]] = None,
+    loop_start: int = 0,
+) -> Tuple[ExecutionTrace, ReferenceTrace]:
+    """Execute a mapping and its reference; raise on any value mismatch.
+
+    Both executions start from identical copies of the data memory. Every
+    (node, iteration) value and the final contents of every array must agree.
+    """
+    base_memory = memory if memory is not None else DataMemory()
+    mapped_memory = base_memory.copy()
+    reference_memory = base_memory.copy()
+
+    executor = MappedLoopExecutor(
+        mapping,
+        memory=mapped_memory,
+        initial_values=initial_values,
+        inputs=inputs,
+        loop_start=loop_start,
+    )
+    mapped_trace = executor.run(iterations)
+
+    reference = ReferenceInterpreter(
+        mapping.dfg,
+        memory=reference_memory,
+        initial_values=initial_values,
+        inputs=inputs,
+        loop_start=loop_start,
+    )
+    reference_trace = reference.run(iterations)
+
+    for key, expected in reference_trace.values.items():
+        actual = mapped_trace.values.get(key)
+        if actual != expected:
+            node_id, iteration = key
+            raise SimulationError(
+                f"value mismatch for node {node_id}, iteration {iteration}: "
+                f"mapped execution produced {actual}, reference {expected}"
+            )
+    mapped_arrays = executor.memory.arrays()
+    for name, expected_values in reference.memory.arrays().items():
+        if mapped_arrays.get(name) != expected_values:
+            raise SimulationError(f"final contents of array {name!r} differ")
+    return mapped_trace, reference_trace

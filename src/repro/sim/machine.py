@@ -1,0 +1,124 @@
+"""Dynamic machine state for the CGRA simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+
+
+class SimulationError(RuntimeError):
+    """Raised when a mapping misbehaves during cycle-level execution."""
+
+
+class DataMemory:
+    """The shared data memory all PEs can load from / store to.
+
+    Arrays are named regions of integers. Out-of-range addresses wrap around
+    (the generated workloads index within bounds; wrapping keeps synthetic
+    address arithmetic well-defined on both the reference and the mapped
+    execution, so the comparison stays meaningful).
+    """
+
+    def __init__(self, arrays: Optional[Dict[str, List[int]]] = None) -> None:
+        self._arrays: Dict[str, List[int]] = {}
+        if arrays:
+            for name, values in arrays.items():
+                self.declare(name, len(values), list(values))
+
+    def declare(self, name: str, size: int,
+                initial: Optional[Iterable[int]] = None) -> None:
+        if size < 1:
+            raise ValueError("array size must be positive")
+        values = list(initial) if initial is not None else [0] * size
+        if len(values) != size:
+            raise ValueError(f"array {name!r}: initial data does not match size")
+        self._arrays[name] = values
+
+    def has_array(self, name: str) -> bool:
+        return name in self._arrays
+
+    def load(self, name: str, address: int) -> int:
+        if name not in self._arrays:
+            raise SimulationError(f"load from undeclared array {name!r}")
+        values = self._arrays[name]
+        return values[address % len(values)]
+
+    def store(self, name: str, address: int, value: int) -> None:
+        if name not in self._arrays:
+            raise SimulationError(f"store to undeclared array {name!r}")
+        values = self._arrays[name]
+        values[address % len(values)] = value
+
+    def dump(self, name: str) -> List[int]:
+        return list(self._arrays[name])
+
+    def arrays(self) -> Dict[str, List[int]]:
+        return {name: list(values) for name, values in self._arrays.items()}
+
+    def copy(self) -> "DataMemory":
+        return DataMemory(self.arrays())
+
+
+@dataclass
+class _RegisterEntry:
+    iteration: int
+    value: int
+
+
+class CGRAMachine:
+    """Register-file state of every PE during mapped execution.
+
+    Values are stored per (producer node, rotating copy); each entry is
+    tagged with the producing iteration so that reads detect values that
+    were overwritten too early (a register-rotation violation).
+    """
+
+    def __init__(self, cgra: CGRA, memory: DataMemory,
+                 enforce_register_capacity: bool = False) -> None:
+        self.cgra = cgra
+        self.memory = memory
+        self.enforce_register_capacity = enforce_register_capacity
+        self._registers: List[Dict[Tuple[int, int], _RegisterEntry]] = [
+            {} for _ in range(cgra.num_pes)
+        ]
+
+    def write(self, pe: int, node: int, copy: int, iteration: int, value: int) -> None:
+        bank = self._registers[pe]
+        key = (node, copy)
+        if (
+            self.enforce_register_capacity
+            and key not in bank
+            and len(bank) >= self.cgra.pe(pe).register_file_size
+        ):
+            raise SimulationError(
+                f"register file of PE {pe} overflows "
+                f"({self.cgra.pe(pe).register_file_size} registers)"
+            )
+        bank[key] = _RegisterEntry(iteration=iteration, value=value)
+
+    def read(self, reader_pe: int, producer_pe: int, node: int, copy: int,
+             iteration: int) -> int:
+        if not self.cgra.adjacent_or_self(reader_pe, producer_pe):
+            raise SimulationError(
+                f"PE {reader_pe} cannot read the register file of PE "
+                f"{producer_pe}: the PEs are not connected"
+            )
+        bank = self._registers[producer_pe]
+        entry = bank.get((node, copy))
+        if entry is None:
+            raise SimulationError(
+                f"value of node {node} (iteration {iteration}) was never "
+                f"written to PE {producer_pe}"
+            )
+        if entry.iteration != iteration:
+            raise SimulationError(
+                f"value of node {node} for iteration {iteration} was "
+                f"overwritten (register holds iteration {entry.iteration}): "
+                "rotating-register allocation is insufficient"
+            )
+        return entry.value
+
+    def live_registers(self, pe: int) -> int:
+        return len(self._registers[pe])

@@ -1,0 +1,94 @@
+"""Cardinality constraint encodings.
+
+The time-phase formulation needs two cardinality families (paper Sec. IV-B):
+
+* **capacity** -- at most ``|V_Mi|`` nodes per kernel slot, and
+* **connectivity** -- at most ``D_M`` neighbours of a node per kernel slot.
+
+Both are encoded here as CNF clauses over indicator literals. Small bounds
+use the pairwise encoding; larger ones use the sequential-counter (Sinz)
+encoding, which is linear in ``n * k`` and propagates well with unit
+propagation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.smt.cnf import CNF, FALSE_LIT, TRUE_LIT, negate
+
+
+def at_least_one(cnf: CNF, literals: Sequence[int]) -> None:
+    """At least one of ``literals`` is true."""
+    cnf.add_clause(list(literals))
+
+
+def at_most_one(cnf: CNF, literals: Sequence[int]) -> None:
+    """At most one of ``literals`` is true (pairwise/sequential hybrid)."""
+    lits = [l for l in literals if l != FALSE_LIT]
+    if any(l == TRUE_LIT for l in lits):
+        concrete = [l for l in lits if l != TRUE_LIT]
+        for lit in concrete:
+            cnf.add_clause([negate(lit)])
+        return
+    if len(lits) <= 6:
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                cnf.add_clause([negate(lits[i]), negate(lits[j])])
+        return
+    at_most_k(cnf, lits, 1)
+
+
+def exactly_one(cnf: CNF, literals: Sequence[int]) -> None:
+    """Exactly one of ``literals`` is true."""
+    at_least_one(cnf, literals)
+    at_most_one(cnf, literals)
+
+
+def at_most_k(cnf: CNF, literals: Sequence[int], k: int) -> None:
+    """Sequential-counter encoding of ``sum(literals) <= k``."""
+    lits = [l for l in literals if l != FALSE_LIT]
+    forced_true = sum(1 for l in lits if l == TRUE_LIT)
+    lits = [l for l in lits if l != TRUE_LIT]
+    k = k - forced_true
+    n = len(lits)
+    if k < 0:
+        cnf.add_clause([])  # contradiction
+        return
+    if k >= n:
+        return
+    if k == 0:
+        for lit in lits:
+            cnf.add_clause([negate(lit)])
+        return
+    # registers[i][j] is true if at least j+1 of the first i+1 literals are true
+    registers: List[List[int]] = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
+    cnf.add_clause([negate(lits[0]), registers[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-registers[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([negate(lits[i]), registers[i][0]])
+        cnf.add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([negate(lits[i]), -registers[i - 1][j - 1], registers[i][j]])
+            cnf.add_clause([-registers[i - 1][j], registers[i][j]])
+        cnf.add_clause([negate(lits[i]), -registers[i - 1][k - 1]])
+    return
+
+
+def at_least_k(cnf: CNF, literals: Sequence[int], k: int) -> None:
+    """``sum(literals) >= k`` via at-most on the negated literals."""
+    if k <= 0:
+        return
+    lits = list(literals)
+    if k > len(lits):
+        cnf.add_clause([])
+        return
+    negated = [negate(l) for l in lits]
+    at_most_k(cnf, negated, len(lits) - k)
+
+
+def exactly_k(cnf: CNF, literals: Sequence[int], k: int) -> None:
+    """``sum(literals) == k``."""
+    at_most_k(cnf, literals, k)
+    at_least_k(cnf, literals, k)

@@ -1,0 +1,125 @@
+"""CNF formula container and named variable pool.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative integer denotes the negation of the corresponding variable. Two
+pseudo-literals, :data:`TRUE_LIT` and :data:`FALSE_LIT`, are provided so that
+encoders can return constants without special-casing call sites; they are
+resolved when clauses are added.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+TRUE_LIT = "TRUE"
+FALSE_LIT = "FALSE"
+
+
+class VariablePool:
+    """Allocates SAT variables, optionally associated with hashable keys."""
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._by_key: Dict[Hashable, int] = {}
+        self._key_of: Dict[int, Hashable] = {}
+
+    @property
+    def num_vars(self) -> int:
+        return self._next - 1
+
+    def new_var(self, key: Optional[Hashable] = None) -> int:
+        """Allocate a fresh variable, optionally registering it under ``key``."""
+        var = self._next
+        self._next += 1
+        if key is not None:
+            if key in self._by_key:
+                raise ValueError(f"variable key {key!r} already allocated")
+            self._by_key[key] = var
+            self._key_of[var] = key
+        return var
+
+    def var(self, key: Hashable) -> int:
+        """Return the variable registered under ``key`` (allocating if new)."""
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        return self.new_var(key)
+
+    def lookup(self, key: Hashable) -> Optional[int]:
+        return self._by_key.get(key)
+
+    def key_of(self, var: int) -> Optional[Hashable]:
+        return self._key_of.get(var)
+
+
+class CNF:
+    """A growable CNF formula with constant-literal simplification."""
+
+    def __init__(self, pool: Optional[VariablePool] = None) -> None:
+        self.pool = pool if pool is not None else VariablePool()
+        self.clauses: List[List[int]] = []
+        self.contradiction = False
+
+    @property
+    def num_vars(self) -> int:
+        return self.pool.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def new_var(self, key: Optional[Hashable] = None) -> int:
+        return self.pool.new_var(key)
+
+    def add_clause(self, literals: Iterable) -> None:
+        """Add a clause, simplifying TRUE/FALSE pseudo-literals.
+
+        A clause containing :data:`TRUE_LIT` is dropped; :data:`FALSE_LIT`
+        literals are removed. An empty resulting clause marks the formula as
+        contradictory.
+        """
+        clause: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == TRUE_LIT:
+                return
+            if lit == FALSE_LIT:
+                continue
+            if not isinstance(lit, int) or lit == 0:
+                raise ValueError(f"invalid literal {lit!r}")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self.contradiction = True
+            return
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend_implication(self, antecedent: int, consequent: int) -> None:
+        """Add ``antecedent -> consequent``."""
+        self.add_clause([negate(antecedent), consequent])
+
+    def to_dimacs(self) -> str:
+        """Serialise to DIMACS text (useful for debugging and tests)."""
+        lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"
+
+
+def negate(literal):
+    """Negate a literal, handling the TRUE/FALSE pseudo-literals."""
+    if literal == TRUE_LIT:
+        return FALSE_LIT
+    if literal == FALSE_LIT:
+        return TRUE_LIT
+    return -literal

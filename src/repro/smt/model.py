@@ -1,0 +1,31 @@
+"""Solution objects returned by the finite-domain layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from repro.smt.csp import IntVar
+
+
+@dataclass
+class FDSolution:
+    """An assignment of integer values to :class:`~repro.smt.csp.IntVar`s."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    conflicts: int = 0
+
+    def value(self, var: "IntVar") -> int:
+        """Value assigned to ``var``."""
+        return self.values[var.name]
+
+    def __getitem__(self, var: "IntVar") -> int:
+        return self.value(var)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FDSolution({self.values})"

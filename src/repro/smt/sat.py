@@ -1,0 +1,458 @@
+"""A CDCL SAT solver.
+
+This is the solving engine behind the "SMT" layer used by the time phase
+(:mod:`repro.core.time_solver`) and by the SAT-MapIt-style coupled baseline
+(:mod:`repro.baseline`). It implements the standard conflict-driven clause
+learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS variable activities with phase saving,
+* Luby restarts,
+* wall-clock timeout support (the experiments impose per-case timeouts
+  exactly like the paper's 4000 s limit).
+
+The solver is deliberately self-contained (lists indexed by variable, no
+recursion) so its performance is predictable for the instance sizes produced
+by the mapper: a few thousand variables for the decoupled time phase, up to a
+few hundred thousand for the coupled baseline on large CGRAs -- where it is
+*expected* to hit the timeout, which is the scalability effect the paper
+measures.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.smt.cnf import CNF
+
+
+class SolveStatus(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # timeout or conflict budget exhausted
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a SAT call."""
+
+    status: SolveStatus
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolveStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolveStatus.UNSAT
+
+    def value(self, literal: int) -> bool:
+        """Truth value of a literal under the model (SAT results only)."""
+        if self.model is None:
+            raise ValueError("no model available")
+        var = abs(literal)
+        val = self.model.get(var, False)
+        return val if literal > 0 else not val
+
+
+def _luby(index: int) -> int:
+    """The ``index``-th element (0-based) of the Luby sequence 1,1,2,1,1,2,4,..."""
+    size = 1
+    sequence = 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        sequence -= 1
+        index = index % size
+    return 1 << sequence
+
+
+class SATSolver:
+    """CDCL solver over clauses added incrementally.
+
+    Typical usage::
+
+        solver = SATSolver()
+        solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        result = solver.solve(timeout_seconds=10.0)
+
+    Blocking clauses may be added between ``solve`` calls to enumerate models.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.watches: Dict[int, List[int]] = {}
+        self.assign: List[Optional[bool]] = [None]
+        self.level: List[int] = [0]
+        self.reason: List[Optional[int]] = [None]
+        self.activity: List[float] = [0.0]
+        self.phase: List[bool] = [False]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._unit_clauses: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Problem construction
+    # ------------------------------------------------------------------ #
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(None)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        var = self.num_vars
+        self.watches.setdefault(var, [])
+        self.watches.setdefault(-var, [])
+        return var
+
+    def ensure_vars(self, count: int) -> None:
+        """Make sure variables ``1..count`` exist."""
+        while self.num_vars < count:
+            self.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause; duplicates removed, tautologies dropped."""
+        clause: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if -lit in seen:
+                return
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+            self.ensure_vars(abs(lit))
+        if not clause:
+            self.ok = False
+            return
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        if len(clause) == 1:
+            self._unit_clauses.append(clause[0])
+        else:
+            self.watches[clause[0]].append(index)
+            self.watches[clause[1]].append(index)
+
+    @classmethod
+    def from_cnf(cls, cnf: CNF) -> "SATSolver":
+        solver = cls()
+        solver.ensure_vars(cnf.num_vars)
+        if cnf.contradiction:
+            solver.ok = False
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        return solver
+
+    # ------------------------------------------------------------------ #
+    # Assignment helpers
+    # ------------------------------------------------------------------ #
+    def _value(self, lit: int) -> Optional[bool]:
+        val = self.assign[abs(lit)]
+        if val is None:
+            return None
+        return val if lit > 0 else not val
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.phase[var] = self.assign[var]  # phase saving
+            self.assign[var] = None
+            self.reason[var] = None
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.propagations += 1
+            neg = -lit
+            watchlist = self.watches[neg]
+            kept: List[int] = []
+            i = 0
+            n = len(watchlist)
+            while i < n:
+                ci = watchlist[i]
+                i += 1
+                clause = self.clauses[ci]
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                first_val = self._value(first)
+                if first_val is True:
+                    kept.append(ci)
+                    continue
+                found = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) is not False:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches[clause[1]].append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                kept.append(ci)
+                if first_val is False:
+                    kept.extend(watchlist[i:])
+                    self.watches[neg] = kept
+                    return ci
+                self._enqueue(first, ci)
+            self.watches[neg] = kept
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis
+    # ------------------------------------------------------------------ #
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP learning; returns (learnt clause, backtrack level)."""
+        current_level = self._decision_level()
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p: Optional[int] = None
+        index = len(self.trail) - 1
+        clause_index = conflict_index
+        while True:
+            clause = self.clauses[clause_index]
+            start = 0 if p is None else 1
+            for j in range(start, len(clause)):
+                q = clause[j]
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            var = abs(p)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            clause_index = self.reason[var]
+        learnt_clause = [-p] + learnt
+        if len(learnt_clause) == 1:
+            backtrack = 0
+        else:
+            backtrack = max(self.level[abs(q)] for q in learnt_clause[1:])
+        return learnt_clause, backtrack
+
+    def _attach_learnt(self, learnt: List[int]) -> None:
+        """Record a learnt clause and enqueue its asserting literal."""
+        if len(learnt) == 1:
+            self._cancel_until(0)
+            if self._value(learnt[0]) is False:
+                self.ok = False
+                return
+            if self._value(learnt[0]) is None:
+                self._enqueue(learnt[0], None)
+            self.clauses.append(learnt)
+            return
+        # position 1 must hold a literal of the backtrack level for watching
+        max_index = 1
+        for j in range(2, len(learnt)):
+            if self.level[abs(learnt[j])] > self.level[abs(learnt[max_index])]:
+                max_index = j
+        learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+        index = len(self.clauses)
+        self.clauses.append(learnt)
+        self.watches[learnt[0]].append(index)
+        self.watches[learnt[1]].append(index)
+        self._enqueue(learnt[0], index)
+
+    # ------------------------------------------------------------------ #
+    # Branching
+    # ------------------------------------------------------------------ #
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] is None and self.activity[var] > best_activity:
+                best_activity = self.activity[var]
+                best_var = var
+        return best_var
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        timeout_seconds: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+    ) -> SolveResult:
+        """Run the CDCL search.
+
+        Returns a :class:`SolveResult` whose status is ``UNKNOWN`` if the
+        timeout or conflict budget was exhausted before a decision was made.
+        """
+        start = time.monotonic()
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        if not self.ok:
+            return SolveResult(SolveStatus.UNSAT, elapsed_seconds=0.0)
+        self._cancel_until(0)
+        # assert root-level units
+        for lit in self._unit_clauses:
+            val = self._value(lit)
+            if val is False:
+                return SolveResult(SolveStatus.UNSAT,
+                                   elapsed_seconds=time.monotonic() - start)
+            if val is None:
+                self._enqueue(lit, None)
+        # Re-propagate the whole root-level trail so that clauses added since
+        # the previous solve call (e.g. blocking clauses) are taken into
+        # account even when their literals were already assigned at level 0.
+        self.qhead = 0
+        restart_count = 0
+        conflicts_until_restart = 100 * _luby(restart_count)
+        conflicts_in_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_in_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return SolveResult(
+                        SolveStatus.UNSAT,
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                        elapsed_seconds=time.monotonic() - start,
+                    )
+                learnt, backtrack_level = self._analyze(conflict)
+                self._cancel_until(backtrack_level)
+                self._attach_learnt(learnt)
+                if not self.ok:
+                    return SolveResult(
+                        SolveStatus.UNSAT,
+                        conflicts=self.conflicts,
+                        elapsed_seconds=time.monotonic() - start,
+                    )
+                self.var_inc *= self.var_decay
+                continue
+            # no conflict
+            if timeout_seconds is not None and self.conflicts % 64 == 0:
+                if time.monotonic() - start > timeout_seconds:
+                    return SolveResult(
+                        SolveStatus.UNKNOWN,
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                        elapsed_seconds=time.monotonic() - start,
+                    )
+            if max_conflicts is not None and self.conflicts >= max_conflicts:
+                return SolveResult(
+                    SolveStatus.UNKNOWN,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                    elapsed_seconds=time.monotonic() - start,
+                )
+            if conflicts_in_restart >= conflicts_until_restart:
+                restart_count += 1
+                conflicts_in_restart = 0
+                conflicts_until_restart = 100 * _luby(restart_count)
+                self._cancel_until(0)
+                continue
+            var = self._pick_branch_variable()
+            if var is None:
+                model = {
+                    v: bool(self.assign[v])
+                    for v in range(1, self.num_vars + 1)
+                    if self.assign[v] is not None
+                }
+                # unassigned variables (none should remain) default to False
+                for v in range(1, self.num_vars + 1):
+                    model.setdefault(v, False)
+                return SolveResult(
+                    SolveStatus.SAT,
+                    model=model,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                    elapsed_seconds=time.monotonic() - start,
+                )
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)
+
+
+def solve_brute_force(cnf: CNF, max_vars: int = 22) -> SolveResult:
+    """Exhaustive model search for tiny formulas (test oracle only)."""
+    if cnf.contradiction:
+        return SolveResult(SolveStatus.UNSAT)
+    n = cnf.num_vars
+    if n > max_vars:
+        raise ValueError(f"brute force limited to {max_vars} variables, got {n}")
+    for bits in itertools.product([False, True], repeat=n):
+        assignment = {v: bits[v - 1] for v in range(1, n + 1)}
+        ok = True
+        for clause in cnf.clauses:
+            if not any(
+                assignment[abs(l)] if l > 0 else not assignment[abs(l)]
+                for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return SolveResult(SolveStatus.SAT, model=assignment)
+    return SolveResult(SolveStatus.UNSAT)

@@ -1,0 +1,32 @@
+"""Benchmark workloads used by the paper's evaluation.
+
+* :mod:`repro.workloads.running_example` -- the 14-node DFG of paper Fig. 2,
+  reconstructed so that its ASAP / ALAP / Mobility Schedule reproduce
+  Table I exactly.
+* :mod:`repro.workloads.kernels` -- synthetic stand-ins for the 17
+  MiBench / Rodinia inner loops of Table III. The paper's DFGs are produced
+  by an LLVM front-end we do not have; each stand-in matches the paper's
+  node count and recurrence-constrained minimum II (RecII) exactly and is
+  shaped after the corresponding kernel (reduction chains, butterflies,
+  stencils, ...). See DESIGN.md for the substitution rationale.
+* :mod:`repro.workloads.suite` -- the benchmark registry (specs, loaders,
+  paper reference values).
+"""
+
+from repro.workloads.running_example import running_example_dfg
+from repro.workloads.suite import (
+    BenchmarkSpec,
+    SPECS,
+    benchmark_names,
+    load_benchmark,
+    spec,
+)
+
+__all__ = [
+    "running_example_dfg",
+    "BenchmarkSpec",
+    "SPECS",
+    "benchmark_names",
+    "load_benchmark",
+    "spec",
+]

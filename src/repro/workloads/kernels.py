@@ -1,0 +1,229 @@
+"""Synthetic stand-ins for the 17 MiBench / Rodinia inner loops of Table III.
+
+The paper extracts its DFGs from LLVM IR of pragma-annotated innermost
+loops. Without that toolchain we generate, for every benchmark, a DFG that
+matches the two quantities Table III actually depends on:
+
+* the **node count** reported in the paper (column "DFG Nodes"), and
+* the **recurrence-constrained minimum II** (RecII), derived from the
+  paper's mII columns (``mII = max(ceil(nodes / PEs), RecII)``),
+
+and whose structure is shaped after the kernel it stands in for:
+
+* a *recurrence chain* of length RecII (the loop-carried dependence cycle:
+  a CRC/hash state update, an accumulator, ...),
+* *feeder* logic (reduction trees or serial chains) producing the values the
+  recurrence consumes, and
+* a short *sink* chain consuming recurrence results (address computations /
+  stores of the original loops).
+
+Every generated node's in-degree matches its opcode arity, so the DFGs are
+fully executable by the simulators in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.isa import Opcode
+from repro.graphs.dfg import DFG
+
+
+@dataclass(frozen=True)
+class OpcodeTheme:
+    """Opcode palette used to decorate a generated kernel."""
+
+    leaf: Sequence[Opcode] = (Opcode.INPUT, Opcode.CONST)
+    unary: Sequence[Opcode] = (Opcode.ABS, Opcode.NOT, Opcode.NEG)
+    binary: Sequence[Opcode] = (Opcode.ADD, Opcode.XOR, Opcode.MUL)
+    ternary: Sequence[Opcode] = (Opcode.SELECT,)
+
+
+_THEMES: Dict[str, OpcodeTheme] = {
+    "crypto": OpcodeTheme(binary=(Opcode.XOR, Opcode.AND, Opcode.ADD, Opcode.OR),
+                          unary=(Opcode.NOT, Opcode.ABS)),
+    "dsp": OpcodeTheme(binary=(Opcode.MUL, Opcode.ADD, Opcode.SUB),
+                       unary=(Opcode.NEG, Opcode.ABS)),
+    "integer": OpcodeTheme(binary=(Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.SHL),
+                           unary=(Opcode.NOT, Opcode.NEG)),
+    "stencil": OpcodeTheme(binary=(Opcode.ADD, Opcode.MUL, Opcode.MAX, Opcode.MIN),
+                           unary=(Opcode.ABS, Opcode.NEG)),
+    "compare": OpcodeTheme(binary=(Opcode.MAX, Opcode.MIN, Opcode.SUB, Opcode.ADD),
+                           unary=(Opcode.ABS, Opcode.NEG)),
+}
+
+
+class _KernelBuilder:
+    """Incremental construction helper keeping in-degrees consistent."""
+
+    def __init__(self, name: str, theme: OpcodeTheme, seed: int) -> None:
+        self.dfg = DFG(name=name)
+        self.theme = theme
+        self.rng = random.Random(seed)
+        self._in_degree: Dict[int, int] = {}
+        self._counter = 0
+
+    # -- node creation -------------------------------------------------- #
+    def _next_value(self) -> int:
+        self._counter += 1
+        return (self._counter * 37 + 11) % 251 + 1
+
+    def leaf(self) -> int:
+        opcode = self.rng.choice(list(self.theme.leaf))
+        node = self.dfg.add_node(opcode=opcode, value=self._next_value())
+        self._in_degree[node.id] = 0
+        return node.id
+
+    def op(self, operands: Sequence[int], loop_carried_operands: int = 0) -> int:
+        """Create a node consuming ``operands`` (data) now; loop-carried
+        operands are connected later and accounted for in the arity."""
+        total_arity = len(operands) + loop_carried_operands
+        if total_arity == 0:
+            return self.leaf()
+        if total_arity == 1:
+            opcode = self.rng.choice(list(self.theme.unary))
+        elif total_arity == 2:
+            opcode = self.rng.choice(list(self.theme.binary))
+        else:
+            opcode = self.theme.ternary[0]
+        node = self.dfg.add_node(opcode=opcode, value=self._next_value())
+        self._in_degree[node.id] = total_arity
+        for index, operand in enumerate(operands):
+            self.dfg.add_data_edge(operand, node.id, operand_index=index)
+        return node.id
+
+    def connect_loop_carried(self, src: int, dst: int, distance: int = 1) -> None:
+        operand_index = len(self.dfg.in_edges(dst))
+        self.dfg.add_loop_carried_edge(src, dst, distance=distance,
+                                       operand_index=operand_index)
+
+    # -- composite structures -------------------------------------------- #
+    def reduction_tree(self, budget: int, width: int = 4) -> int:
+        """Build a bounded-width reduction with exactly ``budget`` nodes.
+
+        ``width`` independent chains are merged pairwise by ``width - 1``
+        combine nodes. Bounding the width keeps the instruction-level
+        parallelism of the generated kernels comparable to real inner loops
+        (and in particular schedulable on a 2x2 CGRA without extending the
+        schedule horizon). Returns the root node.
+        """
+        if budget < 1:
+            raise ValueError("tree budget must be >= 1")
+        if budget <= 2:
+            return self.serial_chain(budget)
+        width = max(2, min(width, (budget + 1) // 2))
+        merges = width - 1
+        chain_budget = budget - merges
+        base = chain_budget // width
+        lengths = [base] * width
+        for index in range(chain_budget - base * width):
+            lengths[index] += 1
+        roots = [self.serial_chain(length) for length in lengths if length > 0]
+        while len(roots) > 1:
+            left = roots.pop(0)
+            right = roots.pop(0)
+            roots.append(self.op([left, right]))
+        return roots[0]
+
+    def serial_chain(self, budget: int, head: Optional[int] = None) -> int:
+        """Build a serial chain of ``budget`` nodes; returns the last node."""
+        if budget < 1:
+            raise ValueError("chain budget must be >= 1")
+        current = head
+        created = 0
+        if current is None:
+            current = self.leaf()
+            created = 1
+        while created < budget:
+            current = self.op([current])
+            created += 1
+        return current
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Structural recipe of one synthetic benchmark kernel.
+
+    Attributes:
+        num_nodes: total node count (matches the paper).
+        rec_ii: target recurrence II (length of the loop-carried cycle).
+        feeder_style: ``"tree"`` (reduction), ``"chain"`` (serial) or
+            ``"split"`` (several trees attached along the recurrence).
+        sink_nodes: how many of the nodes form the output/sink chain.
+        theme: opcode palette name.
+        seed: RNG seed for opcode/selection choices (structure is
+            deterministic given the other fields).
+    """
+
+    num_nodes: int
+    rec_ii: int
+    feeder_style: str = "tree"
+    sink_nodes: int = 2
+    theme: str = "integer"
+    seed: int = 0
+
+
+def build_kernel(name: str, shape: KernelShape) -> DFG:
+    """Materialise a benchmark DFG from its :class:`KernelShape`."""
+    if shape.rec_ii < 2:
+        raise ValueError("recurrence length must be >= 2")
+    if shape.num_nodes < shape.rec_ii + 1:
+        raise ValueError("node budget too small for the recurrence")
+    builder = _KernelBuilder(name, _THEMES[shape.theme], shape.seed)
+
+    extras = shape.num_nodes - shape.rec_ii
+    sink_budget = min(shape.sink_nodes, max(0, extras - 1))
+    feeder_budget = extras - sink_budget
+
+    # ------------------------------------------------------------------ #
+    # Feeders: values consumed by the recurrence.
+    # ------------------------------------------------------------------ #
+    feeder_roots: List[int] = []
+    if feeder_budget > 0:
+        if shape.feeder_style == "chain":
+            feeder_roots.append(builder.serial_chain(feeder_budget))
+        elif shape.feeder_style == "split":
+            pieces = min(3, shape.rec_ii, feeder_budget)
+            base = feeder_budget // pieces
+            budgets = [base] * pieces
+            budgets[0] += feeder_budget - base * pieces
+            feeder_roots.extend(builder.reduction_tree(b) for b in budgets if b > 0)
+        else:  # "tree"
+            feeder_roots.append(builder.reduction_tree(feeder_budget))
+
+    # ------------------------------------------------------------------ #
+    # Recurrence cycle of length rec_ii.
+    # ------------------------------------------------------------------ #
+    cycle: List[int] = []
+    for position in range(shape.rec_ii):
+        operands: List[int] = []
+        if position > 0:
+            operands.append(cycle[-1])
+        # attach feeder roots spread along the cycle
+        for root_index, root in enumerate(feeder_roots):
+            if root_index % shape.rec_ii == position:
+                operands.append(root)
+        loop_carried = 1 if position == 0 else 0
+        cycle.append(builder.op(operands, loop_carried_operands=loop_carried))
+    builder.connect_loop_carried(cycle[-1], cycle[0], distance=1)
+
+    # ------------------------------------------------------------------ #
+    # Sinks: a short chain consuming the recurrence output.
+    # ------------------------------------------------------------------ #
+    if sink_budget > 0:
+        current = cycle[-1]
+        for index in range(sink_budget):
+            if index == 0 and shape.rec_ii >= 3:
+                current = builder.op([current, cycle[shape.rec_ii // 2]])
+            else:
+                current = builder.op([current])
+
+    dfg = builder.dfg
+    if dfg.num_nodes != shape.num_nodes:
+        raise AssertionError(
+            f"kernel {name}: built {dfg.num_nodes} nodes, expected {shape.num_nodes}"
+        )
+    dfg.validate()
+    return dfg

@@ -1,0 +1,68 @@
+"""The running example of the paper (Fig. 2a).
+
+The paper never lists the edge set of its 14-node running example, but its
+Table I (ASAP / ALAP / MobS) and Fig. 2b/2c/4 pin the structure down almost
+completely. The DFG below was reconstructed so that:
+
+* ASAP, ALAP and the Mobility Schedule match Table I row for row;
+* the recurrence cycles give ``RecII = 4`` and ``ResII = ceil(14/4) = 4`` on
+  a 2x2 CGRA, hence ``mII = 4`` as in the paper;
+* nodes 2 and 8 share a data dependence (the "invalid time solution" of
+  Fig. 2c schedules them in the same step);
+* nodes 7 and 4 are linked by a loop-carried dependence (the "invalid space
+  solution" of Fig. 2c places them on non-adjacent PEs).
+
+Opcodes are assigned so the DFG is executable by the simulators (a small
+pair of recurrences combining live-in values), but they play no role in the
+mapping itself.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import Opcode
+from repro.graphs.dfg import DFG
+
+
+def running_example_dfg() -> DFG:
+    """Build the 14-node running-example DFG (paper Fig. 2a)."""
+    dfg = DFG(name="running_example")
+    opcodes = {
+        0: Opcode.INPUT,   # live-in
+        1: Opcode.INPUT,   # live-in
+        2: Opcode.CONST,   # constant
+        3: Opcode.CONST,   # constant
+        4: Opcode.PHI,     # loop-carried accumulator (fed by node 7)
+        5: Opcode.ABS,
+        6: Opcode.MUL,
+        7: Opcode.ADD,
+        8: Opcode.XOR,
+        9: Opcode.NOT,
+        10: Opcode.ADD,
+        11: Opcode.ADD,    # second recurrence (fed by node 13)
+        12: Opcode.NEG,
+        13: Opcode.ABS,
+    }
+    values = {2: 3, 3: 5, 0: 7, 1: 11, 4: 1}
+    for node_id, opcode in opcodes.items():
+        dfg.add_node(node_id, opcode, name=f"v{node_id}",
+                     value=values.get(node_id, 0))
+
+    # Data dependencies (black edges of Fig. 2a).
+    dfg.add_data_edge(4, 5, operand_index=0)
+    dfg.add_data_edge(5, 6, operand_index=0)
+    dfg.add_data_edge(3, 6, operand_index=1)
+    dfg.add_data_edge(6, 8, operand_index=0)
+    dfg.add_data_edge(2, 8, operand_index=1)
+    dfg.add_data_edge(8, 9, operand_index=0)
+    dfg.add_data_edge(9, 10, operand_index=0)
+    dfg.add_data_edge(6, 7, operand_index=0)
+    dfg.add_data_edge(1, 7, operand_index=1)
+    dfg.add_data_edge(7, 10, operand_index=1)
+    dfg.add_data_edge(0, 11, operand_index=0)
+    dfg.add_data_edge(11, 12, operand_index=0)
+    dfg.add_data_edge(12, 13, operand_index=0)
+
+    # Loop-carried dependencies (red edges of Fig. 2a).
+    dfg.add_loop_carried_edge(7, 4, distance=1, operand_index=0)
+    dfg.add_loop_carried_edge(13, 11, distance=1, operand_index=1)
+    return dfg

@@ -1,0 +1,156 @@
+"""The 17-benchmark suite of the paper's evaluation (Table III).
+
+Every entry records the node count and RecII taken from the paper, the shape
+used to synthesise the stand-in DFG (see :mod:`repro.workloads.kernels`), and
+the paper's reported II / mII per CGRA size, which EXPERIMENTS.md compares
+against the values measured by this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.dfg import DFG
+from repro.workloads.kernels import KernelShape, build_kernel
+from repro.workloads.running_example import running_example_dfg
+
+CGRA_SIZES: Tuple[str, ...] = ("2x2", "5x5", "10x10", "20x20")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Metadata of one Table III benchmark."""
+
+    name: str
+    suite: str                     # "mibench" or "rodinia"
+    num_nodes: int                 # paper column "DFG Nodes"
+    rec_ii: int                    # derived from the paper's mII columns
+    shape: KernelShape
+    description: str
+    paper_ii: Dict[str, Optional[int]] = field(default_factory=dict)
+    paper_mii: Dict[str, int] = field(default_factory=dict)
+
+    def build(self) -> DFG:
+        return build_kernel(self.name, self.shape)
+
+
+def _spec(
+    name: str,
+    suite: str,
+    num_nodes: int,
+    rec_ii: int,
+    feeder_style: str,
+    sink_nodes: int,
+    theme: str,
+    description: str,
+    paper_ii: Dict[str, Optional[int]],
+) -> BenchmarkSpec:
+    paper_mii = {
+        "2x2": max(-(-num_nodes // 4), rec_ii),
+        "5x5": max(-(-num_nodes // 25), rec_ii),
+        "10x10": max(-(-num_nodes // 100), rec_ii),
+        "20x20": max(-(-num_nodes // 400), rec_ii),
+    }
+    shape = KernelShape(
+        num_nodes=num_nodes,
+        rec_ii=rec_ii,
+        feeder_style=feeder_style,
+        sink_nodes=sink_nodes,
+        theme=theme,
+        seed=sum(ord(character) for character in name),
+    )
+    return BenchmarkSpec(
+        name=name,
+        suite=suite,
+        num_nodes=num_nodes,
+        rec_ii=rec_ii,
+        shape=shape,
+        description=description,
+        paper_ii=paper_ii,
+        paper_mii=paper_mii,
+    )
+
+
+SPECS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("aes", "mibench", 23, 14, "chain", 2, "crypto",
+              "AES round: long serial state-update chain (S-box/XOR mix)",
+              {"2x2": 16, "5x5": 16, "10x10": 16, "20x20": 16}),
+        _spec("backprop", "rodinia", 34, 5, "split", 5, "dsp",
+              "Back-propagation weight update: MAC trees feeding an accumulator",
+              {"2x2": 10, "5x5": 5, "10x10": 5, "20x20": 5}),
+        _spec("basicmath", "mibench", 21, 7, "chain", 3, "dsp",
+              "Cubic-equation solver step: serial arithmetic recurrence",
+              {"2x2": 7, "5x5": 7, "10x10": 7, "20x20": 7}),
+        _spec("bitcount", "mibench", 7, 3, "tree", 1, "integer",
+              "Bit counting: mask/shift/accumulate recurrence",
+              {"2x2": 3, "5x5": 3, "10x10": 3, "20x20": 3}),
+        _spec("cfd", "rodinia", 51, 2, "split", 8, "stencil",
+              "CFD flux kernel: wide flux evaluation with a short accumulator",
+              {"2x2": None, "5x5": None, "10x10": None, "20x20": None}),
+        _spec("crc32", "mibench", 24, 8, "chain", 3, "crypto",
+              "CRC32: 8-deep shift/XOR state recurrence with table feed",
+              {"2x2": 11, "5x5": 11, "10x10": 11, "20x20": 11}),
+        _spec("fft", "mibench", 20, 7, "split", 2, "dsp",
+              "FFT butterfly: twiddle multiply-accumulate recurrence",
+              {"2x2": 7, "5x5": 7, "10x10": 7, "20x20": 7}),
+        _spec("gsm", "mibench", 24, 4, "split", 3, "dsp",
+              "GSM LPC step: short filter recurrence with term trees",
+              {"2x2": 6, "5x5": 5, "10x10": 5, "20x20": 5}),
+        _spec("heartwall", "rodinia", 35, 3, "tree", 4, "stencil",
+              "Heart-wall tracking: correlation sum over a window",
+              {"2x2": 9, "5x5": 3, "10x10": 3, "20x20": 3}),
+        _spec("hotspot3D", "rodinia", 57, 2, "split", 6, "stencil",
+              "3D thermal stencil: 7-point weighted sum with an accumulator",
+              {"2x2": 17, "5x5": 6, "10x10": None, "20x20": None}),
+        _spec("lud", "rodinia", 26, 3, "tree", 3, "dsp",
+              "LU decomposition inner product",
+              {"2x2": 7, "5x5": 3, "10x10": 3, "20x20": 3}),
+        _spec("nw", "rodinia", 33, 2, "split", 4, "compare",
+              "Needleman-Wunsch cell update: max of three candidates",
+              {"2x2": 9, "5x5": 2, "10x10": 2, "20x20": 2}),
+        _spec("particlefilter", "rodinia", 38, 9, "split", 4, "dsp",
+              "Particle filter weight update: long likelihood recurrence",
+              {"2x2": 10, "5x5": 9, "10x10": 9, "20x20": 9}),
+        _spec("sha1", "mibench", 21, 2, "tree", 2, "crypto",
+              "SHA-1 round: rotate/XOR mixing into two state words",
+              {"2x2": 6, "5x5": 4, "10x10": 4, "20x20": 4}),
+        _spec("sha2", "mibench", 25, 7, "chain", 3, "crypto",
+              "SHA-256 round: sigma/choice chain updating the state",
+              {"2x2": 7, "5x5": 7, "10x10": 7, "20x20": 7}),
+        _spec("stringsearch", "mibench", 28, 3, "tree", 4, "compare",
+              "Boyer-Moore-ish comparison: character compare tree + index update",
+              {"2x2": 7, "5x5": 3, "10x10": 3, "20x20": 3}),
+        _spec("susan", "mibench", 21, 2, "tree", 3, "stencil",
+              "SUSAN corner response: brightness difference accumulation",
+              {"2x2": 6, "5x5": 2, "10x10": 2, "20x20": 2}),
+    ]
+}
+
+
+def benchmark_names() -> List[str]:
+    """Names of the 17 Table III benchmarks, in the paper's order."""
+    return list(SPECS)
+
+
+def spec(name: str) -> BenchmarkSpec:
+    try:
+        return SPECS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(SPECS)}"
+        ) from exc
+
+
+def load_benchmark(name: str) -> DFG:
+    """Build the DFG of one benchmark (or the running example)."""
+    if name in ("running_example", "example"):
+        return running_example_dfg()
+    return spec(name).build()
+
+
+def load_all() -> Dict[str, DFG]:
+    """Build every Table III benchmark DFG."""
+    return {name: SPECS[name].build() for name in SPECS}

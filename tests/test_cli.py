@@ -1,0 +1,83 @@
+"""Tests for the repro-map command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map"])
+        assert args.benchmark == "running_example"
+        assert args.cgra == "4x4"
+
+
+class TestListCommand:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "aes" in output and "dot_product" in output
+        assert "running_example" in output
+
+
+class TestMapCommand:
+    def test_map_running_example(self, capsys):
+        assert main(["map", "--cgra", "2x2", "--timeout", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "II=4" in output
+        assert "slot" in output  # kernel table rendered
+
+    def test_map_benchmark_with_json_output(self, capsys, tmp_path):
+        out_file = tmp_path / "mapping.json"
+        code = main(["map", "--benchmark", "bitcount", "--cgra", "3x3",
+                     "--timeout", "30", "--json", str(out_file)])
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert data["cgra"]["rows"] == 3
+        assert len(data["placement"]) == 7
+
+    def test_map_kernel_example_with_simulation(self, capsys):
+        code = main(["map", "--kernel-example", "dot_product", "--cgra", "3x3",
+                     "--timeout", "30", "--simulate", "--iterations", "6"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matches the sequential reference" in output
+
+    def test_map_kernel_file(self, capsys, tmp_path):
+        source = tmp_path / "kernel.k"
+        source.write_text("""
+            acc s = 0;
+            for i in 0..16 { s = s + i; }
+        """)
+        code = main(["map", "--kernel-file", str(source), "--cgra", "2x2",
+                     "--timeout", "30"])
+        assert code == 0
+
+    def test_map_with_baseline(self, capsys):
+        code = main(["map", "--benchmark", "bitcount", "--cgra", "2x2",
+                     "--timeout", "30", "--baseline"])
+        assert code == 0
+        assert "II=3" in capsys.readouterr().out
+
+    def test_map_failure_returns_nonzero(self, capsys):
+        code = main(["map", "--benchmark", "aes", "--cgra", "2x2",
+                     "--timeout", "0.0"])
+        assert code == 1
+
+
+class TestExperimentSubcommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_table3_forwarding(self, capsys):
+        code = main(["table3", "--sizes", "2x2", "--benchmarks", "bitcount",
+                     "--timeout", "30", "--no-baseline"])
+        assert code == 0
+        assert "Table III" in capsys.readouterr().out

@@ -1,0 +1,175 @@
+"""Unit tests for the loop-kernel front end (lexer, parser, DFG extraction)."""
+
+import pytest
+
+from repro.arch.isa import Opcode
+from repro.frontend import (
+    EXAMPLE_KERNELS,
+    ExtractionError,
+    LexerError,
+    ParseError,
+    example_kernel_source,
+    extract_dfg,
+    parse_program,
+    tokenize,
+)
+from repro.frontend.ast_nodes import Assignment, BinaryOp, StoreStatement
+from repro.frontend.lexer import TokenKind, parse_number
+from repro.graphs.analysis import rec_ii
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("acc x = 0xFF; for i in 0..4 { x = x + 1; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] is TokenKind.EOF
+        texts = [t.text for t in tokens]
+        assert "acc" in texts and ".." in texts and "0xFF" in texts
+
+    def test_comments_and_newlines_skipped(self):
+        tokens = tokenize("# a comment\n// another\n x")
+        assert [t.text for t in tokens[:-1]] == ["x"]
+        assert tokens[0].line == 3
+
+    def test_operators_longest_match(self):
+        texts = [t.text for t in tokenize("a << 2 >= b") if t.kind is TokenKind.OP]
+        assert texts == ["<<", ">="]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("x = $;")
+
+    def test_parse_number(self):
+        assert parse_number("0x10") == 16
+        assert parse_number("42") == 42
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse_program(EXAMPLE_KERNELS["dot_product"])
+        assert len(program.arrays()) == 2
+        assert program.loop.trip_count == 64
+        assert program.loop.induction_variable == "i"
+        assert isinstance(program.loop.body[0], Assignment)
+
+    def test_declaration_values(self):
+        program = parse_program("acc s = 5; input t; for i in 0..2 { s = s + t; }")
+        assert program.declaration("s").value == 5
+        assert program.declaration("t").value is None
+        assert program.declaration("missing") is None
+
+    def test_negative_initialiser(self):
+        program = parse_program("acc s = -3; for i in 0..2 { s = s + 1; }")
+        assert program.declaration("s").value == -3
+
+    def test_precedence(self):
+        program = parse_program("for i in 0..1 { x = 1 + 2 * 3; }")
+        expr = program.loop.body[0].value
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_store_statement(self):
+        program = parse_program("array a[4]; for i in 0..4 { store(a, i, i); }")
+        assert isinstance(program.loop.body[0], StoreStatement)
+
+    def test_ternary_and_calls(self):
+        program = parse_program(
+            "for i in 0..4 { x = i > 2 ? min(i, 3) : abs(0 - i); }")
+        assert program.loop.body[0].value.__class__.__name__ == "Ternary"
+
+    @pytest.mark.parametrize("source", [
+        "for i in 0..4 { x = ; }",
+        "for i in 0..4 { store(a, 1); }",
+        "acc x 3; for i in 0..1 { x = 1; }",
+        "for i in 0..4 { x = 1 }",
+        "for i in 0..4 { x = min(1); }",
+        "x = 3;",
+    ])
+    def test_malformed_programs_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+
+class TestExtraction:
+    def test_dot_product_structure(self):
+        program = extract_dfg(EXAMPLE_KERNELS["dot_product"], name="dot")
+        dfg = program.dfg
+        assert dfg.name == "dot"
+        opcodes = [n.opcode for n in dfg.nodes()]
+        assert opcodes.count(Opcode.LOAD) == 2
+        assert Opcode.MUL in opcodes and Opcode.ADD in opcodes
+        assert len(dfg.loop_carried_edges()) == 1
+        assert program.arrays == {"a": 64, "b": 64}
+        assert program.accumulators == {"sum": 0}
+        assert program.trip_count == 64
+        assert "sum" in program.outputs
+
+    def test_loop_carried_initial_values(self):
+        program = extract_dfg(EXAMPLE_KERNELS["crc8"])
+        (edge,) = [e for e in program.dfg.loop_carried_edges()]
+        assert program.initial_values[edge.src] == 255
+
+    def test_induction_variable_shared(self):
+        program = extract_dfg("""
+            array a[8];
+            acc s = 0;
+            for i in 0..8 { s = s + load(a, i) + i; }
+        """)
+        inductions = [n for n in program.dfg.nodes()
+                      if n.opcode is Opcode.INDUCTION]
+        assert len(inductions) == 1
+        assert program.induction_node == inductions[0].id
+
+    def test_constants_are_deduplicated(self):
+        program = extract_dfg("for i in 0..4 { x = 3 + 3; y = x * 3; }")
+        constants = [n for n in program.dfg.nodes() if n.opcode is Opcode.CONST]
+        assert len(constants) == 1
+
+    def test_use_after_redefinition_is_a_data_edge(self):
+        program = extract_dfg("""
+            acc s = 0;
+            for i in 0..4 {
+                s = s + 1;
+                t = s * 2;
+            }
+        """)
+        # `t` consumes the *new* value of s: a data edge, not loop-carried.
+        dfg = program.dfg
+        assert len(dfg.loop_carried_edges()) == 1
+        mul_nodes = [n for n in dfg.nodes() if n.opcode is Opcode.MUL]
+        assert all(e.kind.value == "data" for e in dfg.in_edges(mul_nodes[0].id))
+
+    def test_fir_delay_line_has_two_recurrences(self):
+        program = extract_dfg(EXAMPLE_KERNELS["fir3"])
+        assert len(program.dfg.loop_carried_edges()) >= 2
+        assert rec_ii(program.dfg) >= 1
+        program.dfg.validate()
+
+    def test_memory_ordering_edges(self):
+        with_order = extract_dfg(EXAMPLE_KERNELS["stencil3"], order_memory=True)
+        without_order = extract_dfg(EXAMPLE_KERNELS["stencil3"],
+                                    order_memory=False)
+        assert with_order.dfg.num_edges >= without_order.dfg.num_edges
+
+    def test_every_example_kernel_extracts_and_validates(self):
+        for name in EXAMPLE_KERNELS:
+            program = extract_dfg(example_kernel_source(name), name=name)
+            program.dfg.validate()
+            assert program.dfg.num_nodes >= 4
+
+    @pytest.mark.parametrize("source,message_part", [
+        ("for i in 0..4 { x = y + 1; }", "undefined"),
+        ("array a[4]; for i in 0..4 { x = load(b, i); }", "undeclared"),
+        ("for i in 0..4 { store(a, i, 1); }", "undeclared"),
+        ("input t; for i in 0..4 { t = 1; }", "cannot assign"),
+        ("for i in 0..4 { i = 1; }", "induction"),
+        ("acc s = 0; for i in 0..4 { x = s + 1; }", "never assigned"),
+    ])
+    def test_semantic_errors(self, source, message_part):
+        with pytest.raises(ExtractionError) as excinfo:
+            extract_dfg(source)
+        assert message_part in str(excinfo.value)
+
+    def test_unknown_kernel_name(self):
+        with pytest.raises(KeyError):
+            example_kernel_source("nope")

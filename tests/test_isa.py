@@ -1,0 +1,101 @@
+"""Unit tests for the PE instruction set (repro.arch.isa)."""
+
+import pytest
+
+from repro.arch.isa import (
+    DEFAULT_PE_OPERATIONS,
+    OPCODE_INFO,
+    Opcode,
+    arity,
+    evaluate,
+    is_memory_op,
+    latency,
+)
+
+
+def test_every_opcode_has_metadata():
+    for opcode in Opcode:
+        assert opcode in OPCODE_INFO
+
+
+def test_default_latency_is_one_cycle():
+    # The paper's modulo-scheduling maths assumes unit latencies.
+    assert all(latency(op) == 1 for op in Opcode)
+
+
+@pytest.mark.parametrize(
+    "opcode,expected",
+    [
+        (Opcode.ADD, 2),
+        (Opcode.NEG, 1),
+        (Opcode.SELECT, 3),
+        (Opcode.MAC, 3),
+        (Opcode.CONST, 0),
+        (Opcode.INPUT, 0),
+        (Opcode.LOAD, 1),
+        (Opcode.STORE, 2),
+        (Opcode.PHI, 1),
+    ],
+)
+def test_arity(opcode, expected):
+    assert arity(opcode) == expected
+
+
+def test_memory_classification():
+    assert is_memory_op(Opcode.LOAD)
+    assert is_memory_op(Opcode.STORE)
+    assert not is_memory_op(Opcode.ADD)
+    assert not is_memory_op(Opcode.CONST)
+
+
+@pytest.mark.parametrize(
+    "opcode,operands,expected",
+    [
+        (Opcode.ADD, [3, 4], 7),
+        (Opcode.SUB, [3, 4], -1),
+        (Opcode.MUL, [3, 4], 12),
+        (Opcode.DIV, [7, 2], 3),
+        (Opcode.DIV, [7, 0], 0),
+        (Opcode.REM, [7, 3], 1),
+        (Opcode.REM, [7, 0], 0),
+        (Opcode.MIN, [5, -2], -2),
+        (Opcode.MAX, [5, -2], 5),
+        (Opcode.ABS, [-9], 9),
+        (Opcode.NEG, [4], -4),
+        (Opcode.AND, [0b1100, 0b1010], 0b1000),
+        (Opcode.OR, [0b1100, 0b1010], 0b1110),
+        (Opcode.XOR, [0b1100, 0b1010], 0b0110),
+        (Opcode.SHL, [1, 4], 16),
+        (Opcode.SHR, [16, 2], 4),
+        (Opcode.EQ, [3, 3], 1),
+        (Opcode.NE, [3, 3], 0),
+        (Opcode.LT, [2, 3], 1),
+        (Opcode.GE, [2, 3], 0),
+        (Opcode.SELECT, [1, 10, 20], 10),
+        (Opcode.SELECT, [0, 10, 20], 20),
+        (Opcode.MAC, [2, 3, 4], 10),
+    ],
+)
+def test_evaluate(opcode, operands, expected):
+    assert evaluate(opcode, operands) == expected
+
+
+def test_shift_amounts_are_masked():
+    assert evaluate(Opcode.SHL, [1, 33]) == 2  # 33 & 31 == 1
+    assert evaluate(Opcode.SHR, [4, 33]) == 2
+
+
+def test_evaluate_rejects_wrong_arity():
+    with pytest.raises(ValueError):
+        evaluate(Opcode.ADD, [1])
+
+
+def test_evaluate_rejects_pseudo_opcodes():
+    with pytest.raises(ValueError):
+        evaluate(Opcode.CONST, [])
+    with pytest.raises(ValueError):
+        evaluate(Opcode.LOAD, [0])
+
+
+def test_default_pe_operations_cover_the_full_isa():
+    assert DEFAULT_PE_OPERATIONS == frozenset(Opcode)

@@ -1,0 +1,80 @@
+"""Unit tests for the Kernel Mobility Schedule (paper Table II)."""
+
+import pytest
+
+from repro.graphs.analysis import mobility_schedule
+from repro.graphs.generators import chain_dfg
+from repro.graphs.kms import KernelMobilitySchedule
+
+
+@pytest.fixture
+def example_kms(example_dfg):
+    return KernelMobilitySchedule(mobility_schedule(example_dfg), ii=4)
+
+
+class TestFolding:
+    def test_number_of_foldings(self, example_kms):
+        # ceil(MobS length / II) = ceil(6/4) = 2 interleaved iterations.
+        assert example_kms.num_foldings == 2
+
+    def test_entry_count_equals_total_mobility(self, example_dfg, example_kms):
+        mobs = mobility_schedule(example_dfg)
+        expected = sum(len(list(mobs.window(n))) for n in example_dfg.node_ids())
+        assert example_kms.num_entries == expected
+
+    def test_slot_and_iteration_of_time(self, example_kms):
+        assert example_kms.slot_of_time(5) == 1
+        assert example_kms.iteration_of_time(5) == 1
+        assert example_kms.iteration_of_time(3) == 0
+
+    def test_rows_reproduce_paper_table2_structure(self, example_kms):
+        rows = example_kms.rows()
+        assert len(rows) == 4
+        # Slot 0 holds the MobS time-0 nodes (iteration 0) and time-4 nodes
+        # (iteration 1); Table II row 0.
+        assert set(rows[0]) == {(0, 0), (1, 0), (2, 0), (3, 0), (4, 0),
+                                (7, 1), (9, 1), (12, 1), (13, 1)}
+        # Slot 1: MobS time 1 (iteration 0) and time 5 (iteration 1).
+        assert set(rows[1]) == {(0, 0), (1, 0), (2, 0), (3, 0), (5, 0), (11, 0),
+                                (10, 1), (13, 1)}
+
+    def test_candidate_slots(self, example_kms):
+        assert example_kms.candidate_slots(4) == {0}
+        assert example_kms.candidate_slots(13) == {3, 0, 1}
+        assert example_kms.candidate_times(13) == [3, 4, 5]
+
+    def test_entries_for_slot_and_node(self, example_kms):
+        for entry in example_kms.entries_for_slot(2):
+            assert entry.slot == 2
+        node_entries = example_kms.entries_for_node(0)
+        assert {e.time for e in node_entries} == {0, 1, 2}
+
+    def test_formatted_rows(self, example_kms):
+        lines = example_kms.formatted_rows()
+        assert len(lines) == 4
+        assert lines[0].startswith("0:")
+        assert "4_0" in lines[0]
+
+    def test_max_population_counts_distinct_nodes(self, example_kms):
+        assert example_kms.max_population() >= 4
+
+    def test_invalid_arguments(self, example_dfg, example_kms):
+        with pytest.raises(ValueError):
+            KernelMobilitySchedule(mobility_schedule(example_dfg), ii=0)
+        with pytest.raises(ValueError):
+            example_kms.entries_for_slot(9)
+
+
+class TestOtherGraphs:
+    def test_chain_kms_single_candidate_per_node(self):
+        dfg = chain_dfg(6)
+        kms = KernelMobilitySchedule(mobility_schedule(dfg), ii=3)
+        assert kms.num_foldings == 2
+        for node in dfg.node_ids():
+            assert len(kms.candidate_slots(node)) == 1
+
+    def test_ii_larger_than_mobs_means_single_folding(self):
+        dfg = chain_dfg(4)
+        kms = KernelMobilitySchedule(mobility_schedule(dfg), ii=8)
+        assert kms.num_foldings == 1
+        assert all(e.iteration == 0 for e in kms.entries())

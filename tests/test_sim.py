@@ -1,0 +1,195 @@
+"""Tests for the reference interpreter and the cycle-level mapped executor."""
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.core.config import MapperConfig
+from repro.core.mapper import MonomorphismMapper
+from repro.core.mapping import Mapping
+from repro.frontend import EXAMPLE_KERNELS, extract_dfg
+from repro.sim.executor import MappedLoopExecutor, run_and_compare
+from repro.sim.machine import CGRAMachine, DataMemory, SimulationError
+from repro.sim.program import ConfigurationMemory
+from repro.sim.reference import ReferenceInterpreter
+from repro.workloads.running_example import running_example_dfg
+from repro.workloads.suite import load_benchmark
+
+
+@pytest.fixture
+def mapper_4x4(fast_config):
+    return MonomorphismMapper(CGRA(4, 4), fast_config)
+
+
+def _map_kernel(source_name: str, cgra: CGRA, config: MapperConfig):
+    program = extract_dfg(EXAMPLE_KERNELS[source_name], name=source_name)
+    result = MonomorphismMapper(cgra, config).map(program.dfg)
+    assert result.success, result.summary()
+    return program, result.mapping
+
+
+class TestDataMemory:
+    def test_declare_load_store(self):
+        memory = DataMemory()
+        memory.declare("a", 4, [1, 2, 3, 4])
+        assert memory.load("a", 2) == 3
+        memory.store("a", 1, 99)
+        assert memory.dump("a") == [1, 99, 3, 4]
+
+    def test_addresses_wrap(self):
+        memory = DataMemory({"a": [10, 20]})
+        assert memory.load("a", 5) == 20
+
+    def test_errors(self):
+        memory = DataMemory()
+        with pytest.raises(SimulationError):
+            memory.load("missing", 0)
+        with pytest.raises(ValueError):
+            memory.declare("a", 0)
+        with pytest.raises(ValueError):
+            memory.declare("a", 3, [1])
+
+    def test_copy_is_independent(self):
+        memory = DataMemory({"a": [1, 2]})
+        clone = memory.copy()
+        clone.store("a", 0, 9)
+        assert memory.load("a", 0) == 1
+
+
+class TestCGRAMachine:
+    def test_neighbour_read_allowed_self_and_adjacent(self, cgra_2x2):
+        machine = CGRAMachine(cgra_2x2, DataMemory())
+        machine.write(pe=1, node=7, copy=0, iteration=0, value=42)
+        assert machine.read(reader_pe=1, producer_pe=1, node=7, copy=0,
+                            iteration=0) == 42
+        assert machine.read(reader_pe=0, producer_pe=1, node=7, copy=0,
+                            iteration=0) == 42
+
+    def test_non_adjacent_read_rejected(self, cgra_2x2):
+        machine = CGRAMachine(cgra_2x2, DataMemory())
+        machine.write(pe=3, node=1, copy=0, iteration=0, value=5)
+        with pytest.raises(SimulationError):
+            machine.read(reader_pe=0, producer_pe=3, node=1, copy=0, iteration=0)
+
+    def test_overwritten_value_detected(self, cgra_2x2):
+        machine = CGRAMachine(cgra_2x2, DataMemory())
+        machine.write(pe=0, node=1, copy=0, iteration=0, value=5)
+        machine.write(pe=0, node=1, copy=0, iteration=1, value=6)
+        with pytest.raises(SimulationError):
+            machine.read(reader_pe=0, producer_pe=0, node=1, copy=0, iteration=0)
+
+    def test_register_capacity_enforcement(self):
+        cgra = CGRA(2, 2, register_file_size=1)
+        machine = CGRAMachine(cgra, DataMemory(), enforce_register_capacity=True)
+        machine.write(pe=0, node=1, copy=0, iteration=0, value=5)
+        with pytest.raises(SimulationError):
+            machine.write(pe=0, node=2, copy=0, iteration=0, value=6)
+
+
+class TestReferenceInterpreter:
+    def test_accumulator_semantics(self):
+        program = extract_dfg("""
+            acc s = 10;
+            for i in 0..8 { s = s + i; }
+        """)
+        trace = ReferenceInterpreter(
+            program.dfg, initial_values=program.initial_values
+        ).run(5)
+        # 10 + 0 + 1 + 2 + 3 + 4 = 20
+        assert trace.last_value(program.outputs["s"]) == 20
+
+    def test_memory_kernels(self):
+        program = extract_dfg(EXAMPLE_KERNELS["dot_product"])
+        memory = DataMemory()
+        memory.declare("a", 64, list(range(64)))
+        memory.declare("b", 64, [2] * 64)
+        trace = ReferenceInterpreter(
+            program.dfg, memory=memory, initial_values=program.initial_values
+        ).run(10)
+        assert trace.last_value(program.outputs["sum"]) == 2 * sum(range(10))
+
+    def test_store_results_visible_in_memory(self):
+        program = extract_dfg("""
+            array out[8];
+            for i in 0..8 { store(out, i, i * i); }
+        """)
+        memory = DataMemory()
+        memory.declare("out", 8)
+        ReferenceInterpreter(program.dfg, memory=memory).run(8)
+        assert memory.dump("out") == [i * i for i in range(8)]
+
+    def test_requires_positive_iterations(self, example_dfg):
+        with pytest.raises(ValueError):
+            ReferenceInterpreter(example_dfg).run(0)
+
+
+class TestConfigurationMemory:
+    def test_slot_table_and_rotation(self, cgra_2x2, fast_config, example_dfg):
+        result = MonomorphismMapper(cgra_2x2, fast_config).map(example_dfg)
+        configuration = ConfigurationMemory(result.mapping)
+        assert len(configuration) == 14
+        table = configuration.slot_table()
+        assert len(table) == result.mapping.ii
+        for instruction in configuration.instructions.values():
+            assert configuration.at(instruction.slot, instruction.pe) is instruction
+            assert instruction.rotating_copies >= 1
+        assert configuration.max_rotating_copies() >= 1
+
+
+class TestMappedExecution:
+    def test_running_example_matches_reference(self, cgra_2x2, fast_config):
+        result = MonomorphismMapper(cgra_2x2, fast_config).map(running_example_dfg())
+        run_and_compare(result.mapping, iterations=10)
+
+    @pytest.mark.parametrize("kernel", ["dot_product", "crc8", "sad",
+                                        "bitcount4", "running_max"])
+    def test_front_end_kernels_match_reference(self, kernel, fast_config):
+        # (kernel names refer to repro.frontend.kernels.EXAMPLE_KERNELS)
+        program, mapping = _map_kernel(kernel, CGRA(4, 4), fast_config)
+        memory = DataMemory()
+        for name, size in program.arrays.items():
+            memory.declare(name, size, [(3 * i + name.__len__()) % 17
+                                        for i in range(size)])
+        run_and_compare(mapping, iterations=12, memory=memory,
+                        initial_values=program.initial_values)
+
+    def test_fir_with_stores_matches_reference(self, fast_config):
+        program, mapping = _map_kernel("fir3", CGRA(4, 4), fast_config)
+        memory = DataMemory()
+        memory.declare("samples", 48, [i % 9 for i in range(48)])
+        memory.declare("out", 48)
+        run_and_compare(mapping, iterations=16, memory=memory,
+                        initial_values=program.initial_values)
+
+    @pytest.mark.parametrize("workload", ["bitcount", "susan", "lud", "fft"])
+    def test_synthetic_benchmarks_execute_correctly(self, workload,
+                                                    mapper_4x4):
+        result = mapper_4x4.map(load_benchmark(workload))
+        assert result.success
+        run_and_compare(result.mapping, iterations=9)
+
+    def test_detects_broken_placement_at_runtime(self, cgra_2x2, fast_config,
+                                                 example_dfg):
+        result = MonomorphismMapper(cgra_2x2, fast_config).map(example_dfg)
+        mapping = result.mapping
+        # corrupt the placement: move the producer of a dependence to a
+        # non-adjacent PE (and bypass the static validator on purpose)
+        broken_placement = dict(mapping.placement)
+        broken_placement[7] = 0
+        broken_placement[4] = 3
+        broken = Mapping(dfg=mapping.dfg, cgra=mapping.cgra,
+                         schedule=mapping.schedule, placement=broken_placement)
+        with pytest.raises(SimulationError):
+            MappedLoopExecutor(broken).run(6)
+
+    def test_executor_rejects_zero_iterations(self, cgra_2x2, fast_config,
+                                              example_dfg):
+        result = MonomorphismMapper(cgra_2x2, fast_config).map(example_dfg)
+        with pytest.raises(ValueError):
+            MappedLoopExecutor(result.mapping).run(0)
+
+    def test_trace_metadata(self, cgra_2x2, fast_config, example_dfg):
+        result = MonomorphismMapper(cgra_2x2, fast_config).map(example_dfg)
+        trace = MappedLoopExecutor(result.mapping).run(5)
+        assert trace.iterations == 5
+        assert trace.cycles == result.mapping.total_cycles(5)
+        assert trace.prologue_cycles == result.mapping.prologue_cycles()
