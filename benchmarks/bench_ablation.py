@@ -8,7 +8,6 @@ torus symmetry seeding can be compared from the benchmark report.
 
 import pytest
 
-from repro.arch.mrrg import TimeAdjacency
 from repro.core.config import MapperConfig
 from repro.core.mapper import MonomorphismMapper
 from repro.experiments.ablation import VARIANTS

@@ -5,7 +5,6 @@ time-phase encoding + SAT solving, MRRG construction, the monomorphism
 search itself, and the cycle-level simulator.
 """
 
-import pytest
 
 from repro.arch.cgra import CGRA
 from repro.arch.mrrg import MRRG

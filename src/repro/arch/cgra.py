@@ -6,7 +6,7 @@ This is the *spatial* half of the mapping problem. The temporal expansion
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 

@@ -26,7 +26,7 @@ instances (6400 vertices) cheap to handle.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterator, List
 
 import networkx as nx
 

@@ -11,7 +11,7 @@ here; dynamic state (register contents during execution) lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 from repro.arch.isa import DEFAULT_PE_OPERATIONS, Opcode
 

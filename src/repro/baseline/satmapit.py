@@ -1,7 +1,7 @@
 """Coupled space-time mapping (SAT-MapIt-style baseline).
 
-For every candidate ``II`` (starting at ``mII``), a *single* SAT formula is
-built that simultaneously decides
+For every candidate ``II`` (starting at ``mII``), a *single* SAT formula
+simultaneously decides
 
 * the start time of every DFG node (same mobility windows and precedence
   constraints as the decoupled time phase), and
@@ -16,16 +16,25 @@ with two families of coupling constraints:
 The formula size therefore grows with ``nodes x II x PEs`` (the size of the
 MRRG), which is exactly the scalability bottleneck the paper attributes to
 SAT-MapIt: on large CGRAs the coupled encoding becomes huge and slow, while
-the decoupled mapper's formulas stay small. The baseline honours a
-per-``map()`` timeout, mirroring the paper's 4000 s experimental budget; the
-timeout also covers formula construction, which is part of the baseline's
-compilation time.
+the decoupled mapper's formulas stay small.
+
+The encoding is *incremental*: the II-independent part (variables over the
+full schedule horizon, data-dependence precedence, routability) is built
+once per ``map()`` call; each (II, slack) attempt then opens a clause
+scope (:meth:`repro.smt.csp.FiniteDomainProblem.push`), adds the
+II-specific loop-carried precedence, capacity, and exclusivity clauses plus
+the horizon restriction, solves, and pops the scope. Variable activities
+and saved phases survive across attempts, so the mII -> II sweep does not
+restart the search from scratch. The baseline honours a per-``map()``
+timeout, mirroring the paper's 4000 s experimental budget; the timeout also
+covers formula construction, which is part of the baseline's compilation
+time.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.arch.cgra import CGRA
 from repro.core.config import BaselineConfig
@@ -42,7 +51,7 @@ from repro.graphs.analysis import (
 from repro.graphs.dfg import DFG
 from repro.smt.cnf import negate
 from repro.smt.csp import FiniteDomainProblem, IntVar
-from repro.smt.sat import SolveStatus
+from repro.smt.sat import SolveResult, SolveStatus
 
 
 class _EncodingTimeout(Exception):
@@ -50,89 +59,57 @@ class _EncodingTimeout(Exception):
 
 
 class _CoupledEncoding:
-    """One coupled space-time SAT instance for a fixed ``II``."""
+    """One coupled space-time instance, re-scoped per (II, slack) attempt."""
 
     def __init__(
         self,
         dfg: DFG,
         cgra: CGRA,
-        ii: int,
-        slack: int,
+        max_slack: int,
         deadline: Optional[float] = None,
     ) -> None:
         self.dfg = dfg
         self.cgra = cgra
-        self.ii = ii
         self.deadline = deadline
-        self.slack = slack
-        needed = max(0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg))
-        self.mobs = mobility_schedule(dfg, slack=max(slack, needed))
+        self._needed_slack = max(
+            0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg)
+        )
+        self.max_slack = max(max_slack, self._needed_slack)
+        self.mobs = mobility_schedule(dfg, slack=self.max_slack)
         self.problem = FiniteDomainProblem()
         self.time_vars: Dict[int, IntVar] = {}
         self.place_vars: Dict[int, IntVar] = {}
-        self._build()
+        self._base_latest: Dict[int, int] = {}
+        self._build_base()
 
     # ------------------------------------------------------------------ #
     def _check_deadline(self) -> None:
         if self.deadline is not None and time.monotonic() > self.deadline:
             raise _EncodingTimeout()
 
-    def _build(self) -> None:
+    def effective_slack(self, slack: int) -> int:
+        return min(max(slack, self._needed_slack), self.max_slack)
+
+    def _build_base(self) -> None:
+        """II-independent encoding: variables, data precedence, routability."""
         problem = self.problem
         num_pes = self.cgra.num_pes
         for node_id in self.dfg.node_ids():
             self.time_vars[node_id] = problem.new_int(
                 f"t{node_id}", self.mobs.earliest(node_id), self.mobs.latest(node_id)
             )
+            self._base_latest[node_id] = self.mobs.latest(node_id) - self.max_slack
             self.place_vars[node_id] = problem.new_int(f"p{node_id}", 0, num_pes - 1)
         self._check_deadline()
-        self._add_precedence()
-        self._add_capacity()
-        self._add_exclusivity()
-        self._add_routability()
-
-    def _add_precedence(self) -> None:
-        """Modulo-scheduling precedence, identical to the decoupled phase."""
         for edge in self.dfg.edges():
-            latency = self.dfg.node(edge.src).latency
-            src = self.time_vars[edge.src]
-            dst = self.time_vars[edge.dst]
-            self.problem.add_ge(dst, src, latency - edge.distance * self.ii)
-
-    def _slot_literal(self, node_id: int, slot: int):
-        return self.problem.mod_indicator(self.time_vars[node_id], self.ii, slot)
-
-    def _candidate_slots(self, node_id: int) -> List[int]:
-        return sorted({t % self.ii for t in self.mobs.window(node_id)})
-
-    def _add_capacity(self) -> None:
-        """Redundant per-slot capacity bound (prunes the coupled search)."""
-        if self.dfg.num_nodes <= self.cgra.num_pes:
-            return
-        for slot in range(self.ii):
-            literals = [
-                self._slot_literal(node_id, slot) for node_id in self.dfg.node_ids()
-            ]
-            self.problem.at_most(literals, self.cgra.num_pes)
-
-    def _add_exclusivity(self) -> None:
-        """At most one operation per (kernel slot, PE) resource of the MRRG."""
-        problem = self.problem
-        occupancy: Dict[Tuple[int, int], List[int]] = {}
-        for node_id in self.dfg.node_ids():
-            self._check_deadline()
-            place_var = self.place_vars[node_id]
-            for slot in self._candidate_slots(node_id):
-                slot_literal = self._slot_literal(node_id, slot)
-                for pe in range(self.cgra.num_pes):
-                    pe_literal = problem.value_literal(place_var, pe)
-                    z = problem.new_bool(("z", node_id, slot, pe))
-                    problem.add_clause([negate(slot_literal), negate(pe_literal), z])
-                    occupancy.setdefault((slot, pe), []).append(z)
-        for (_slot, _pe), literals in occupancy.items():
-            self._check_deadline()
-            if len(literals) > 1:
-                problem.at_most(literals, 1)
+            if edge.distance == 0:
+                problem.add_ge(
+                    self.time_vars[edge.dst],
+                    self.time_vars[edge.src],
+                    self.dfg.node(edge.src).latency,
+                )
+        self._check_deadline()
+        self._add_routability()
 
     def _add_routability(self) -> None:
         """Endpoints of every dependence on identical or adjacent PEs."""
@@ -148,14 +125,88 @@ class _CoupledEncoding:
                 problem.add_clause(clause)
 
     # ------------------------------------------------------------------ #
-    def extract(self, solution) -> Mapping:
+    # Scoped (II, slack) constraints
+    # ------------------------------------------------------------------ #
+    def _slot_literal(self, node_id: int, ii: int, slot: int):
+        return self.problem.mod_indicator(self.time_vars[node_id], ii, slot)
+
+    def _candidate_slots(self, node_id: int, ii: int, eff_slack: int) -> List[int]:
+        earliest = self.mobs.earliest(node_id)
+        latest = self._base_latest[node_id] + eff_slack
+        return sorted({t % ii for t in range(earliest, latest + 1)})
+
+    def _add_loop_carried(self, ii: int) -> None:
+        for edge in self.dfg.edges():
+            if edge.distance == 0:
+                continue
+            self.problem.add_ge(
+                self.time_vars[edge.dst],
+                self.time_vars[edge.src],
+                self.dfg.node(edge.src).latency - edge.distance * ii,
+            )
+
+    def _add_capacity(self, ii: int) -> None:
+        """Redundant per-slot capacity bound (prunes the coupled search)."""
+        if self.dfg.num_nodes <= self.cgra.num_pes:
+            return
+        for slot in range(ii):
+            literals = [
+                self._slot_literal(node_id, ii, slot)
+                for node_id in self.dfg.node_ids()
+            ]
+            self.problem.at_most(literals, self.cgra.num_pes)
+
+    def _add_exclusivity(self, ii: int, eff_slack: int) -> None:
+        """At most one operation per (kernel slot, PE) resource of the MRRG."""
+        problem = self.problem
+        occupancy: Dict[tuple, List[int]] = {}
+        for node_id in self.dfg.node_ids():
+            self._check_deadline()
+            place_var = self.place_vars[node_id]
+            for slot in self._candidate_slots(node_id, ii, eff_slack):
+                slot_literal = self._slot_literal(node_id, ii, slot)
+                for pe in range(self.cgra.num_pes):
+                    pe_literal = problem.value_literal(place_var, pe)
+                    z = problem.new_bool()
+                    problem.add_clause([negate(slot_literal), negate(pe_literal), z])
+                    occupancy.setdefault((slot, pe), []).append(z)
+        for (_slot, _pe), literals in occupancy.items():
+            self._check_deadline()
+            if len(literals) > 1:
+                problem.at_most(literals, 1)
+
+    def _add_horizon(self, eff_slack: int) -> None:
+        for node_id, var in self.time_vars.items():
+            self.problem.add_clause([
+                self.problem.le_literal(var, self._base_latest[node_id] + eff_slack)
+            ])
+
+    def attempt(
+        self, ii: int, slack: int, timeout_seconds: Optional[float]
+    ) -> SolveResult:
+        """Solve one (II, slack) attempt inside a retractable clause scope."""
+        eff_slack = self.effective_slack(slack)
+        self.problem.push()
+        try:
+            self._add_horizon(eff_slack)
+            self._add_loop_carried(ii)
+            self._add_capacity(ii)
+            self._check_deadline()
+            self._add_exclusivity(ii, eff_slack)
+            return self.problem.solve_detailed(timeout_seconds=timeout_seconds)
+        finally:
+            self.problem.pop()
+
+    # ------------------------------------------------------------------ #
+    def extract(self, ii: int, result: SolveResult) -> Mapping:
+        solution = self.problem._extract(result)
         start_times = {
             node_id: solution.value(var) for node_id, var in self.time_vars.items()
         }
         placement = {
             node_id: solution.value(var) for node_id, var in self.place_vars.items()
         }
-        schedule = Schedule(dfg=self.dfg, ii=self.ii, start_times=start_times)
+        schedule = Schedule(dfg=self.dfg, ii=ii, start_times=start_times)
         return Mapping(dfg=self.dfg, cgra=self.cgra, schedule=schedule,
                        placement=placement)
 
@@ -190,11 +241,28 @@ class SatMapItMapper:
             rec_ii=recurrence_ii,
         )
 
+        max_slack = max(self.config.slack_candidates(), default=self.config.slack)
+        try:
+            encoding = _CoupledEncoding(
+                dfg, self.cgra, max_slack, deadline=deadline
+            )
+        except _EncodingTimeout:
+            result.status = MappingStatus.TIME_TIMEOUT
+            result.message = "timed out while building the base encoding"
+            result.total_seconds = time.monotonic() - start
+            result.time_phase_seconds = result.total_seconds
+            return result
+
         for ii in range(mii, max_ii + 1):
             result.iis_tried += 1
             mapped = False
             timed_out = False
+            attempted_slacks = set()
             for slack in self.config.slack_candidates():
+                eff_slack = encoding.effective_slack(slack)
+                if eff_slack in attempted_slacks:
+                    continue
+                attempted_slacks.add(eff_slack)
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -204,17 +272,12 @@ class SatMapItMapper:
                         timed_out = True
                         break
                 try:
-                    encoding = _CoupledEncoding(
-                        dfg, self.cgra, ii, slack, deadline=deadline
-                    )
+                    solve_result = encoding.attempt(ii, slack, remaining)
                 except _EncodingTimeout:
                     result.status = MappingStatus.TIME_TIMEOUT
                     result.message = f"timed out while encoding II={ii}"
                     timed_out = True
                     break
-                solve_result = encoding.problem.solve_detailed(
-                    timeout_seconds=remaining
-                )
                 result.schedules_tried += 1
                 if solve_result.status is SolveStatus.UNKNOWN:
                     result.status = MappingStatus.TIME_TIMEOUT
@@ -223,7 +286,7 @@ class SatMapItMapper:
                     break
                 if solve_result.status is SolveStatus.UNSAT:
                     continue  # retry the same II with a longer horizon
-                mapping = encoding.extract(encoding.problem._extract(solve_result))
+                mapping = encoding.extract(ii, solve_result)
                 if self.config.validate:
                     assert_valid_mapping(mapping)
                 result.status = MappingStatus.SUCCESS

@@ -10,6 +10,8 @@ Subcommands::
     repro-map table3 --sizes 2x2 5x5       # paper Table III
     repro-map fig5 --sizes 2x2 5x5 10x10   # paper Fig. 5
     repro-map ablation --benchmarks aes    # design-choice ablation
+    repro-map sweep --sizes 2x2 5x5 --jobs 4 --cache results.jsonl
+                                           # parallel batch over the suite
 """
 
 from __future__ import annotations
@@ -22,11 +24,13 @@ from repro.baseline.satmapit import SatMapItMapper
 from repro.core.config import BaselineConfig, MapperConfig
 from repro.core.mapper import MonomorphismMapper
 from repro.experiments import ablation, fig5, table1_table2, table3
-from repro.experiments.runner import build_cgra
+from repro.experiments.batch import BatchRunner, build_cases
+from repro.experiments.runner import build_cgra, parse_size
 from repro.frontend import EXAMPLE_KERNELS, extract_dfg
+from repro.reporting.tables import Table, format_seconds
 from repro.sim.executor import run_and_compare
 from repro.sim.machine import DataMemory
-from repro.workloads.suite import benchmark_names, load_benchmark
+from repro.workloads.suite import benchmark_names, load_benchmark, spec
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -102,6 +106,47 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (benchmark x size x approach) grid through the batch engine."""
+    benchmarks = args.benchmarks if args.benchmarks else benchmark_names()
+    for name in benchmarks:
+        if name not in ("running_example", "example"):
+            spec(name)  # fail early on typos
+    for size in args.sizes:
+        parse_size(size)
+    approaches = args.approaches
+    cases = build_cases(benchmarks, args.sizes, approaches, args.timeout)
+    progress = None if args.quiet else print
+    runner = BatchRunner(jobs=args.jobs, cache_path=args.cache,
+                         progress=progress)
+    report = runner.run(cases)
+
+    table = Table(
+        headers=["Benchmark", "CGRA", "Approach", "Status", "II", "mII",
+                 "Time", "Space", "Total"],
+        title=f"Sweep -- {len(cases)} case(s), jobs={args.jobs}"
+              + (f", cache={args.cache}" if args.cache else ""),
+    )
+    for result in report.results:
+        table.add_row(
+            result.benchmark,
+            result.cgra_size,
+            result.approach,
+            result.status,
+            result.ii,
+            result.mii,
+            format_seconds(result.time_phase_seconds),
+            format_seconds(result.space_phase_seconds),
+            format_seconds(result.total_seconds),
+        )
+    print(table.render())
+    print(report.summary())
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"results written to {args.csv}")
+    return 1 if report.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-map",
@@ -149,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
         "ablation", help="design-choice ablation (forwards extra args)")
     ablation_parser.add_argument("rest", nargs=argparse.REMAINDER)
     ablation_parser.set_defaults(handler=lambda args: ablation.main(args.rest))
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a (benchmark x size x approach) grid in parallel with "
+             "caching",
+    )
+    sweep_parser.add_argument("--benchmarks", nargs="+", default=None,
+                              help="benchmark subset (default: all 17)")
+    sweep_parser.add_argument("--sizes", nargs="+", default=["2x2", "5x5"],
+                              help="CGRA sizes, e.g. 2x2 5x5 10x10")
+    sweep_parser.add_argument("--approaches", nargs="+",
+                              default=["monomorphism"],
+                              choices=["monomorphism", "mono", "decoupled",
+                                       "satmapit", "baseline"],
+                              help="mapper approaches to run")
+    sweep_parser.add_argument("--timeout", type=float, default=60.0,
+                              help="per-case soft timeout in seconds")
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="concurrent worker processes")
+    sweep_parser.add_argument("--cache", default=None,
+                              help="JSONL result cache; solved cases are "
+                                   "skipped on re-runs")
+    sweep_parser.add_argument("--csv", default=None,
+                              help="write the result table to a CSV file")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-case progress lines")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     return parser
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.arch.mrrg import TimeAdjacency
@@ -38,6 +38,14 @@ class MapperConfig:
         pin_first_placement: exploit torus vertex-transitivity by pinning the
             first placed node to PE 0 of its slot.
         validate: run the full validator on every returned mapping.
+        incremental_time: drive the time phase through
+            :class:`repro.core.time_solver.IncrementalTimeSolver`, which
+            encodes the DFG once and opens a retractable clause scope per
+            (II, slack) attempt instead of rebuilding the CNF; learnt
+            clauses persist across the solves of one II's schedule
+            enumeration, and activities/phases survive the whole
+            mII -> II sweep. Disable to get the paper-literal re-encoding
+            behaviour (used as the comparison point by the benches).
     """
 
     max_ii: Optional[int] = None
@@ -53,6 +61,7 @@ class MapperConfig:
     time_adjacency: TimeAdjacency = TimeAdjacency.ALL_PAIRS
     pin_first_placement: bool = True
     validate: bool = True
+    incremental_time: bool = True
 
     def __post_init__(self) -> None:
         if self.slack < 0:

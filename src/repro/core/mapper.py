@@ -39,7 +39,7 @@ from repro.core.config import MapperConfig
 from repro.core.exceptions import PhaseTimeoutError
 from repro.core.mapping import Mapping
 from repro.core.space_solver import SpaceSolver
-from repro.core.time_solver import Schedule, TimeSolver
+from repro.core.time_solver import IncrementalTimeSolver, Schedule, TimeSolver
 from repro.core.validation import assert_valid_mapping
 from repro.graphs.analysis import critical_path_length, rec_ii, res_ii
 from repro.graphs.dfg import DFG
@@ -142,6 +142,14 @@ class MonomorphismMapper:
         space_timed_out = False
         time_timed_out = False
         time_timeout_message = ""
+        # One incremental time solver serves the whole mII -> II sweep: the
+        # base encoding is built once and every (II, slack) attempt is a
+        # retractable clause scope, carrying activities and phases across.
+        incremental = (
+            IncrementalTimeSolver(dfg, self.cgra, self.config)
+            if self.config.incremental_time
+            else None
+        )
 
         for ii in range(mii, max_ii + 1):
             result.iis_tried += 1
@@ -149,7 +157,9 @@ class MonomorphismMapper:
                 result.status = MappingStatus.TOTAL_TIMEOUT
                 result.message = f"total budget exhausted before II={ii}"
                 break
-            outcome, mapping, message = self._attempt_ii(dfg, ii, result, start)
+            outcome, mapping, message = self._attempt_ii(
+                dfg, ii, result, start, incremental
+            )
             if outcome is _Outcome.MAPPED:
                 result.status = MappingStatus.SUCCESS
                 result.mapping = mapping
@@ -192,11 +202,25 @@ class MonomorphismMapper:
         return max(0.01, min(configured, remaining))
 
     def _attempt_ii(
-        self, dfg: DFG, ii: int, result: MappingResult, start: float
+        self,
+        dfg: DFG,
+        ii: int,
+        result: MappingResult,
+        start: float,
+        incremental: Optional[IncrementalTimeSolver] = None,
     ) -> Tuple[_Outcome, Optional[Mapping], str]:
         """Try one II, extending the schedule horizon on time infeasibility."""
         space_timed_out = False
+        attempted_slacks = set()
         for slack in self.config.slack_candidates():
+            if incremental is not None:
+                # Several slack candidates can collapse to one effective
+                # horizon (the dense-DFG auto-extension); re-solving the
+                # identical instance would be wasted work.
+                effective = incremental.effective_slack(slack)
+                if effective in attempted_slacks:
+                    continue
+                attempted_slacks.add(effective)
             if self._total_budget_exhausted(start):
                 return (
                     _Outcome.TOTAL_TIMEOUT,
@@ -205,12 +229,18 @@ class MonomorphismMapper:
                 )
             time_phase_start = time.monotonic()
             try:
-                solver = TimeSolver(dfg, self.cgra, ii, self.config, slack=slack)
-                schedule_iter = solver.iter_schedules(
-                    timeout_seconds=self._phase_budget(
-                        start, self.config.time_timeout_seconds
-                    )
+                budget = self._phase_budget(
+                    start, self.config.time_timeout_seconds
                 )
+                if incremental is not None:
+                    schedule_iter = incremental.iter_schedules(
+                        ii, slack=slack, timeout_seconds=budget
+                    )
+                else:
+                    solver = TimeSolver(
+                        dfg, self.cgra, ii, self.config, slack=slack
+                    )
+                    schedule_iter = solver.iter_schedules(timeout_seconds=budget)
                 schedule = self._next_schedule(schedule_iter)
             except PhaseTimeoutError as exc:
                 result.time_phase_seconds += time.monotonic() - time_phase_start

@@ -10,9 +10,8 @@ serialisation.
 from __future__ import annotations
 
 import json
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.arch.cgra import CGRA
 from repro.core.time_solver import Schedule

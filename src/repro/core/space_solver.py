@@ -12,13 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Optional
 
 from repro.arch.cgra import CGRA
 from repro.arch.mrrg import MRRG, TimeAdjacency
 from repro.arch.topology import Topology
 from repro.core.config import MapperConfig
-from repro.core.exceptions import PhaseTimeoutError
 from repro.core.time_solver import Schedule
 from repro.matching.monomorphism import (
     MonomorphismSearch,

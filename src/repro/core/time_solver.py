@@ -19,13 +19,12 @@ solution possible (paper Sec. IV-D); they can be disabled for ablation.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
 
 from repro.arch.cgra import CGRA
 from repro.core.config import MapperConfig
-from repro.core.exceptions import NoScheduleError, PhaseTimeoutError
+from repro.core.exceptions import PhaseTimeoutError
 from repro.graphs.analysis import (
     MobilitySchedule,
     critical_path_length,
@@ -265,5 +264,234 @@ class TimeSolver:
                 timeout_seconds=budget,
             ):
                 yield self._to_schedule(solution)
+        except TimeoutError as exc:
+            raise PhaseTimeoutError("time", budget) from exc
+
+
+class IncrementalTimeSolver:
+    """Time phase encoded once per DFG, re-solved per (II, slack) attempt.
+
+    Where :class:`TimeSolver` rebuilds the whole CNF for every (II, slack)
+    attempt, this solver keeps one persistent formula per DFG/CGRA pair:
+
+    * time variables are created once over the widest schedule horizon the
+      mapper may request, together with the II-independent constraints
+      (domain channeling plus dependences with distance 0);
+    * each (II, slack) attempt opens a clause scope
+      (:meth:`repro.smt.csp.FiniteDomainProblem.push`) holding the
+      loop-carried precedence, capacity, and connectivity clauses of that
+      II and the ``T_v <= ALAP + slack`` horizon restriction; the scope is
+      retracted when the next attempt begins;
+    * schedule enumeration adds its blocking clauses inside the scope, so
+      clauses *learnt while enumerating one II* persist across the repeated
+      ``solve()`` calls -- the hot loop when the space phase rejects
+      schedules -- and the blocking clauses vanish with the scope;
+    * VSIDS activities and saved phases live in the underlying
+      :class:`~repro.smt.sat.SATSolver` and survive every pop, warming each
+      new II with the search order learnt on the previous ones.
+
+    If the mapper requests a slack beyond the encoded horizon (a rare
+    hard-instance retry), the formula is rebuilt for the larger horizon --
+    deliberately, rather than encoding headroom upfront: a wider horizon
+    widens every mobility window, which both inflates the domain encoding
+    and activates capacity counters that narrow windows satisfy trivially,
+    so headroom would tax every ordinary attempt to subsidise a rare one.
+
+    One instance serves one sequential sweep: starting a new ``solve`` /
+    ``iter_schedules`` retracts the scope of the previous one, so
+    interleaving two live enumerations of different IIs is not supported
+    (the mapper never does).
+    """
+
+    #: extra horizon encoded beyond the configured baseline slack; kept at
+    #: zero so the steady-state formula is exactly as tight as the
+    #: re-encoding path's (see the class docstring).
+    HORIZON_HEADROOM = 0
+
+    def __init__(
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        config: Optional[MapperConfig] = None,
+    ) -> None:
+        self.dfg = dfg
+        self.cgra = cgra
+        self.config = config if config is not None else MapperConfig()
+        self._needed_slack = max(
+            0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg)
+        )
+        self._rebuilds = 0
+        self._encode(
+            max(self.config.slack, self._needed_slack) + self.HORIZON_HEADROOM
+        )
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def _encode(self, max_slack: int) -> None:
+        """(Re)build the base formula for horizon ``critical path + max_slack``."""
+        self.max_slack = max_slack
+        self.mobs: MobilitySchedule = mobility_schedule(self.dfg, slack=max_slack)
+        self.problem = FiniteDomainProblem()
+        self._time_vars: Dict[int, IntVar] = {}
+        self._base_latest: Dict[int, int] = {}
+        self._scope_open = False
+        for node_id in self.dfg.node_ids():
+            variable = self.problem.new_int(
+                f"t{node_id}", self.mobs.earliest(node_id), self.mobs.latest(node_id)
+            )
+            self._time_vars[node_id] = variable
+            self._base_latest[node_id] = self.mobs.latest(node_id) - max_slack
+            mobility = self.mobs.mobility(node_id)
+            self.problem.prioritize(variable, weight=2.0 / (1.0 + mobility))
+        # II-independent precedence: dependences without a loop-carried
+        # distance constrain start times identically for every II.
+        for edge in self.dfg.edges():
+            if edge.distance == 0:
+                self.problem.add_ge(
+                    self._time_vars[edge.dst],
+                    self._time_vars[edge.src],
+                    self.dfg.node(edge.src).latency,
+                )
+
+    def effective_slack(self, slack: int) -> int:
+        """The horizon extension actually applied for a requested slack."""
+        return max(slack, self._needed_slack)
+
+    def _ensure_horizon(self, eff_slack: int) -> None:
+        if eff_slack > self.max_slack:
+            self._rebuilds += 1
+            self._encode(eff_slack + self.HORIZON_HEADROOM)
+
+    def _begin_attempt(self, ii: int, eff_slack: int) -> None:
+        """Open the clause scope of one (II, slack) attempt."""
+        if self._scope_open:
+            self.problem.pop()
+            self._scope_open = False
+        self.problem.push()
+        self._scope_open = True
+        for node_id, var in self._time_vars.items():
+            self.problem.add_clause([
+                self.problem.le_literal(var, self._base_latest[node_id] + eff_slack)
+            ])
+        for edge in self.dfg.edges():
+            if edge.distance:
+                self.problem.add_ge(
+                    self._time_vars[edge.dst],
+                    self._time_vars[edge.src],
+                    self.dfg.node(edge.src).latency - edge.distance * ii,
+                )
+        if self.config.enforce_capacity:
+            self._add_capacity(ii)
+        if self.config.enforce_connectivity:
+            self._add_connectivity(ii)
+
+    def _add_capacity(self, ii: int) -> None:
+        """Sec. IV-B2, guarded by the II selector."""
+        capacity = self.cgra.num_pes
+        if self.dfg.num_nodes <= capacity:
+            return
+        for slot in range(ii):
+            indicators = [
+                self.problem.mod_indicator(var, ii, slot)
+                for var in self._time_vars.values()
+            ]
+            self.problem.at_most(indicators, capacity)
+
+    def _add_connectivity(self, ii: int) -> None:
+        """Sec. IV-B3, guarded by the II selector."""
+        degree = self.cgra.connectivity_degree
+        for node_id, var in self._time_vars.items():
+            neighbors = sorted(self.dfg.neighbor_ids(node_id))
+            if len(neighbors) <= degree and not self.config.strict_connectivity:
+                continue
+            for slot in range(ii):
+                literals = [
+                    self.problem.mod_indicator(self._time_vars[u], ii, slot)
+                    for u in neighbors
+                ]
+                if self.config.strict_connectivity:
+                    literals.append(self.problem.mod_indicator(var, ii, slot))
+                if len(literals) <= degree:
+                    continue
+                self.problem.at_most(literals, degree)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sat_variables(self) -> int:
+        return self.problem.num_sat_variables
+
+    @property
+    def num_sat_clauses(self) -> int:
+        return self.problem.num_sat_clauses
+
+    def _prepare(self, ii: int, slack: int) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        eff = self.effective_slack(slack)
+        self._ensure_horizon(eff)
+        self._begin_attempt(ii, eff)
+
+    def _to_schedule(self, ii: int, solution) -> Schedule:
+        start_times = {
+            node_id: solution.value(var)
+            for node_id, var in self._time_vars.items()
+        }
+        return Schedule(dfg=self.dfg, ii=ii, start_times=start_times)
+
+    def solve(
+        self,
+        ii: int,
+        slack: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> Optional[Schedule]:
+        """Find one schedule for ``(ii, slack)``; ``None`` if none exists."""
+        budget = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.config.time_timeout_seconds
+        )
+        self._prepare(ii, self.config.slack if slack is None else slack)
+        try:
+            solution = self.problem.solve(timeout_seconds=budget)
+        except TimeoutError as exc:
+            raise PhaseTimeoutError("time", budget) from exc
+        if solution is None:
+            return None
+        return self._to_schedule(ii, solution)
+
+    def iter_schedules(
+        self,
+        ii: int,
+        slack: Optional[int] = None,
+        limit: Optional[int] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> Iterator[Schedule]:
+        """Enumerate distinct schedules for ``(ii, slack)``.
+
+        Blocking clauses live inside the attempt's clause scope, so they
+        are retracted when the next ``solve``/``iter_schedules`` call opens
+        its own scope -- later enumerations of the same II see the full
+        solution space again, while clauses learnt *during* this
+        enumeration keep accelerating its successive solves.
+        """
+        budget = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else self.config.time_timeout_seconds
+        )
+        max_solutions = (
+            limit if limit is not None else self.config.max_time_solutions_per_ii
+        )
+        self._prepare(ii, self.config.slack if slack is None else slack)
+        try:
+            for solution in self.problem.enumerate_solutions(
+                block_on=list(self._time_vars.values()),
+                limit=max_solutions,
+                timeout_seconds=budget,
+            ):
+                yield self._to_schedule(ii, solution)
         except TimeoutError as exc:
             raise PhaseTimeoutError("time", budget) from exc

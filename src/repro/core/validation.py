@@ -22,7 +22,6 @@ from typing import Dict, List
 
 from repro.core.exceptions import InvalidMappingError
 from repro.core.mapping import Mapping
-from repro.graphs.dfg import DependenceKind
 
 
 def _check_injectivity(mapping: Mapping, violations: List[str]) -> None:

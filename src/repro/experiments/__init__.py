@@ -19,17 +19,31 @@ harness under ``benchmarks/``. The values reported in the paper are kept in
 side by side.
 """
 
+from repro.experiments.batch import (
+    BatchCase,
+    BatchReport,
+    BatchRunner,
+    build_cases,
+    results_by_case,
+)
 from repro.experiments.runner import (
     CaseResult,
     build_cgra,
+    run_case,
     run_decoupled_case,
     run_baseline_case,
 )
 from repro.experiments.paper_data import PAPER_TABLE3, PaperEntry
 
 __all__ = [
+    "BatchCase",
+    "BatchReport",
+    "BatchRunner",
     "CaseResult",
+    "build_cases",
     "build_cgra",
+    "results_by_case",
+    "run_case",
     "run_decoupled_case",
     "run_baseline_case",
     "PAPER_TABLE3",

@@ -21,7 +21,7 @@ from repro.core.config import MapperConfig
 from repro.core.mapper import MonomorphismMapper
 from repro.experiments.runner import build_cgra
 from repro.reporting.tables import Table, format_seconds
-from repro.workloads.suite import benchmark_names, load_benchmark
+from repro.workloads.suite import load_benchmark
 
 #: The ablation variants: name -> MapperConfig overrides.
 VARIANTS: Dict[str, Dict[str, object]] = {

@@ -1,0 +1,342 @@
+"""Parallel batch execution of experiment cases.
+
+The paper's evaluation is a large grid -- 17 benchmarks x 4 CGRA sizes x 2
+approaches -- and the seed drivers walked it strictly serially. This module
+provides :class:`BatchRunner`, the engine behind ``repro-map sweep`` and the
+``--jobs`` / ``--cache`` options of the Table III / Fig. 5 drivers:
+
+* a ``multiprocessing`` worker pool (one process per in-flight case, at
+  most ``jobs`` concurrent) so independent cases use all cores;
+* a *hard* per-case wall-clock timeout: a worker that overruns (the
+  mapper's own soft timeout covers solving, not pathological encoding) is
+  terminated and recorded with status ``"hard_timeout"`` and its real
+  elapsed time;
+* deterministic result ordering: results come back in the order the cases
+  were submitted, whatever the completion order, so ``--jobs 4`` output is
+  byte-identical to the serial run (the solver itself is deterministic;
+  only cases racing their wall-clock timeout can differ between runs,
+  which is true of any timeout-bounded experiment, serial or not);
+* a JSONL result cache keyed by a hash of the case configuration
+  (benchmark, size, approach, timeout -- extend :meth:`BatchCase.cache_key`
+  before plumbing any further mapper knob through a case, or stale
+  entries will be served across configurations), so re-runs skip
+  already-solved cases and interrupted sweeps resume for free;
+* progress reporting through a pluggable callback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import CaseResult, normalize_approach, run_case
+
+#: extra wall-clock grace on top of a case's soft timeout before the worker
+#: process is terminated (encoding and validation time are part of a case).
+DEFAULT_KILL_GRACE_SECONDS = 30.0
+
+HARD_TIMEOUT_STATUS = "hard_timeout"
+ERROR_STATUS = "error"
+
+
+@dataclass(frozen=True)
+class BatchCase:
+    """One (benchmark, CGRA size, approach) work item."""
+
+    benchmark: str
+    size: str
+    approach: str
+    timeout_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "approach", normalize_approach(self.approach))
+
+    def cache_key(self) -> str:
+        """Stable digest of everything that determines the result."""
+        payload = json.dumps(
+            {
+                "benchmark": self.benchmark,
+                "size": self.size,
+                "approach": self.approach,
+                "timeout_seconds": self.timeout_seconds,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.size}/{self.approach}"
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :meth:`BatchRunner.run` call."""
+
+    results: List[CaseResult]
+    executed: int = 0
+    cache_hits: int = 0
+    hard_timeouts: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for r in self.results if r.succeeded)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.results)} case(s): {self.succeeded} succeeded, "
+            f"{self.executed} executed, {self.cache_hits} from cache, "
+            f"{self.hard_timeouts} hard timeout(s), {self.errors} error(s) "
+            f"in {self.elapsed_seconds:.1f}s"
+        )
+
+
+def _worker_main(case_payload: Dict[str, object], connection) -> None:
+    """Child-process entry point: run one case, ship the result back."""
+    try:
+        case = BatchCase(**case_payload)
+        result = run_case(
+            case.benchmark, case.size, case.approach, case.timeout_seconds
+        )
+        connection.send(("ok", dataclasses.asdict(result)))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            connection.send(("error", repr(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        connection.close()
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.Process
+    connection: object
+    case: BatchCase
+    key: str
+    started: float
+
+
+class BatchRunner:
+    """Run a batch of cases across worker processes, cached and in order."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_path: Optional[str] = None,
+        kill_grace_seconds: float = DEFAULT_KILL_GRACE_SECONDS,
+        hard_timeout_seconds: Optional[float] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_path = cache_path
+        self.kill_grace_seconds = kill_grace_seconds
+        self.hard_timeout_seconds = hard_timeout_seconds
+        self.progress = progress
+        self.poll_interval = poll_interval
+        self._context = multiprocessing.get_context()
+
+    # ------------------------------------------------------------------ #
+    # Cache
+    # ------------------------------------------------------------------ #
+    def _load_cache(self) -> Dict[str, CaseResult]:
+        cache: Dict[str, CaseResult] = {}
+        if not self.cache_path or not os.path.exists(self.cache_path):
+            return cache
+        with open(self.cache_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    cache[record["key"]] = CaseResult(**record["result"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # tolerate truncated/foreign lines
+        return cache
+
+    def _append_cache(self, handle, key: str, case: BatchCase,
+                      result: CaseResult) -> None:
+        if handle is None:
+            return
+        record = {
+            "key": key,
+            "case": dataclasses.asdict(case),
+            "result": dataclasses.asdict(result),
+        }
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _hard_deadline(self, case: BatchCase) -> float:
+        if self.hard_timeout_seconds is not None:
+            return self.hard_timeout_seconds
+        return case.timeout_seconds + self.kill_grace_seconds
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _spawn(self, case: BatchCase, key: str) -> _Running:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(dataclasses.asdict(case), child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Running(
+            process=process,
+            connection=parent_conn,
+            case=case,
+            key=key,
+            started=time.monotonic(),
+        )
+
+    def _collect(self, running: _Running) -> Optional[CaseResult]:
+        """Result if the worker finished/overran/died, else ``None``."""
+        elapsed = time.monotonic() - running.started
+        case = running.case
+        if running.connection.poll(0):
+            try:
+                kind, payload = running.connection.recv()
+            except (EOFError, OSError):
+                kind, payload = ("error", "worker pipe closed unexpectedly")
+            if kind == "ok":
+                return CaseResult(**payload)
+            return self._synthetic_result(case, ERROR_STATUS, elapsed,
+                                          message=str(payload))
+        if elapsed > self._hard_deadline(case):
+            running.process.terminate()
+            return self._synthetic_result(
+                case, HARD_TIMEOUT_STATUS, elapsed,
+                message=f"killed after {elapsed:.1f}s "
+                        f"(hard limit {self._hard_deadline(case):.1f}s)",
+            )
+        if not running.process.is_alive():
+            return self._synthetic_result(
+                case, ERROR_STATUS, elapsed,
+                message=f"worker exited with code {running.process.exitcode} "
+                        "without reporting a result",
+            )
+        return None
+
+    @staticmethod
+    def _synthetic_result(case: BatchCase, status: str, elapsed: float,
+                          message: str = "") -> CaseResult:
+        return CaseResult(
+            benchmark=case.benchmark,
+            cgra_size=case.size,
+            approach=case.approach,
+            status=status,
+            ii=None,
+            mii=0,
+            time_phase_seconds=None,
+            space_phase_seconds=None,
+            total_seconds=elapsed,
+            message=message,
+        )
+
+    def run(self, cases: Iterable[BatchCase]) -> BatchReport:
+        """Execute ``cases``; results match the submission order exactly."""
+        case_list = list(cases)
+        start = time.monotonic()
+        report = BatchReport(results=[None] * len(case_list))  # type: ignore[list-item]
+        cache = self._load_cache()
+        cache_handle = None
+        if self.cache_path:
+            cache_handle = open(self.cache_path, "a", encoding="utf-8")
+
+        pending: deque = deque()
+        for index, case in enumerate(case_list):
+            key = case.cache_key()
+            hit = cache.get(key)
+            if hit is not None:
+                report.results[index] = hit
+                report.cache_hits += 1
+                self._report(f"[cache] {case.label()}: {hit.status}")
+            else:
+                pending.append((index, case, key))
+
+        running: Dict[int, _Running] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    index, case, key = pending.popleft()
+                    running[index] = self._spawn(case, key)
+                    self._report(f"[start] {case.label()}")
+                finished: List[int] = []
+                for index, entry in running.items():
+                    result = self._collect(entry)
+                    if result is None:
+                        continue
+                    finished.append(index)
+                    report.results[index] = result
+                    report.executed += 1
+                    if result.status == HARD_TIMEOUT_STATUS:
+                        report.hard_timeouts += 1
+                    elif result.status == ERROR_STATUS:
+                        report.errors += 1
+                    else:
+                        self._append_cache(cache_handle, entry.key,
+                                           entry.case, result)
+                    self._report(
+                        f"[done]  {entry.case.label()}: {result.status}"
+                        + (f" II={result.ii}" if result.ii is not None else "")
+                    )
+                for index in finished:
+                    entry = running.pop(index)
+                    entry.process.join(timeout=5)
+                    entry.connection.close()
+                if not finished:
+                    time.sleep(self.poll_interval)
+        finally:
+            for entry in running.values():
+                entry.process.terminate()
+                entry.process.join(timeout=5)
+                entry.connection.close()
+            if cache_handle is not None:
+                cache_handle.close()
+
+        report.elapsed_seconds = time.monotonic() - start
+        return report
+
+
+def build_cases(
+    benchmarks: Sequence[str],
+    sizes: Sequence[str],
+    approaches: Sequence[str],
+    timeout_seconds: float,
+) -> List[BatchCase]:
+    """The standard sweep grid, ordered size -> benchmark -> approach."""
+    return [
+        BatchCase(benchmark=benchmark, size=size, approach=approach,
+                  timeout_seconds=timeout_seconds)
+        for size in sizes
+        for benchmark in benchmarks
+        for approach in approaches
+    ]
+
+
+def results_by_case(
+    cases: Sequence[BatchCase], report: BatchReport
+) -> Dict[Tuple[str, str, str], CaseResult]:
+    """Index a report by ``(benchmark, size, approach)`` for the drivers."""
+    return {
+        (case.benchmark, case.size, case.approach): result
+        for case, result in zip(cases, report.results)
+    }

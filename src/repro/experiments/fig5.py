@@ -10,10 +10,11 @@ next to the paper's values.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.paper_data import PAPER_FIG5_AES, PAPER_TABLE3
+from repro.experiments.paper_data import PAPER_TABLE3
 from repro.experiments.runner import (
+    CaseResult,
     DEFAULT_SIZES,
     run_baseline_case,
     run_decoupled_case,
@@ -27,20 +28,39 @@ def run_fig5(
     sizes: Sequence[str] = DEFAULT_SIZES,
     timeout_seconds: float = 60.0,
     run_baseline: bool = True,
+    results: Optional[Dict[Tuple[str, str, str], CaseResult]] = None,
 ) -> Dict[str, object]:
-    """Collect the Fig. 5 data points."""
+    """Collect the Fig. 5 data points.
+
+    ``results`` may hold precomputed cases keyed by
+    ``(benchmark, size, approach)`` -- the batch engine fills it when the
+    driver runs with ``--jobs``/``--cache``; missing cases run inline.
+    """
+
+    def case_for(name: str, size: str, approach: str) -> CaseResult:
+        if results is not None:
+            hit = results.get((name, size, approach))
+            if hit is not None:
+                return hit
+        if approach == "monomorphism":
+            return run_decoupled_case(name, size, timeout_seconds)
+        return run_baseline_case(name, size, timeout_seconds)
+
     measured_mono = Series(label="monomorphism (measured)")
     measured_base = Series(label="SAT-MapIt baseline (measured)")
     paper_mono = Series(label="monomorphism (paper)")
     paper_base = Series(label="SAT-MapIt (paper)")
     rows: List[Dict[str, object]] = []
     for size in sizes:
-        mono = run_decoupled_case(benchmark, size, timeout_seconds)
-        measured_mono.add(size, mono.total_seconds)
+        mono = case_for(benchmark, size, "monomorphism")
+        # timeouts now carry their elapsed time; the chart still excludes them
+        measured_mono.add(size, mono.total_seconds if mono.succeeded else None)
         baseline = None
         if run_baseline:
-            baseline = run_baseline_case(benchmark, size, timeout_seconds)
-            measured_base.add(size, baseline.total_seconds)
+            baseline = case_for(benchmark, size, "satmapit")
+            measured_base.add(
+                size, baseline.total_seconds if baseline.succeeded else None
+            )
         else:
             measured_base.add(size, None)
         paper_entry = PAPER_TABLE3.get(size, {}).get(benchmark)
@@ -68,8 +88,10 @@ def fig5_table(data: Dict[str, object]) -> Table:
         paper = row["paper"]
         table.add_row(
             row["size"],
-            format_seconds(mono.total_seconds),
-            format_seconds(baseline.total_seconds) if baseline is not None else "skipped",
+            format_seconds(mono.total_seconds) if mono.succeeded else "TO",
+            ("skipped" if baseline is None
+             else format_seconds(baseline.total_seconds)
+             if baseline.succeeded else "TO"),
             format_seconds(paper.mono_total) if paper else "-",
             format_seconds(paper.satmapit_time) if paper else "-",
             mono.ii,
@@ -85,13 +107,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument("--no-baseline", action="store_true")
     parser.add_argument("--csv", type=str, default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run the cases through the parallel batch "
+                             "engine with this many workers")
+    parser.add_argument("--cache", type=str, default=None,
+                        help="JSONL result cache shared with 'repro-map "
+                             "sweep'")
     args = parser.parse_args(argv)
+
+    results = None
+    if args.jobs > 1 or args.cache:
+        from repro.experiments.batch import (
+            BatchRunner, build_cases, results_by_case,
+        )
+        approaches = ["monomorphism"]
+        if not args.no_baseline:
+            approaches.append("satmapit")
+        cases = build_cases([args.benchmark], args.sizes, approaches,
+                            args.timeout)
+        report = BatchRunner(jobs=max(1, args.jobs),
+                             cache_path=args.cache).run(cases)
+        results = results_by_case(cases, report)
+        print(report.summary() + "\n")
 
     data = run_fig5(
         benchmark=args.benchmark,
         sizes=args.sizes,
         timeout_seconds=args.timeout,
         run_baseline=not args.no_baseline,
+        results=results,
     )
     print(fig5_table(data).render())
     print()

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.arch.cgra import CGRA
 from repro.arch.topology import Topology
@@ -11,7 +11,7 @@ from repro.core.config import BaselineConfig, MapperConfig
 from repro.core.mapper import MappingResult, MappingStatus, MonomorphismMapper
 from repro.baseline.satmapit import SatMapItMapper
 from repro.graphs.dfg import DFG
-from repro.workloads.suite import load_benchmark, spec
+from repro.workloads.suite import load_benchmark
 
 DEFAULT_SIZES: Tuple[str, ...] = ("2x2", "5x5", "10x10", "20x20")
 
@@ -35,7 +35,14 @@ def build_cgra(size: str, topology: Topology = Topology.TORUS) -> CGRA:
 
 @dataclass
 class CaseResult:
-    """One (benchmark, CGRA size, approach) measurement."""
+    """One (benchmark, CGRA size, approach) measurement.
+
+    Wall-clock fields are recorded for *every* terminal status -- including
+    timeouts and failures -- so the reporting layer can see how long a
+    failed case actually ran. Excluding timeouts from aggregates (the
+    paper's convention) is the caller's job: pass ``None`` for
+    non-successful cases into :func:`average`, as the drivers do.
+    """
 
     benchmark: str
     cgra_size: str
@@ -48,6 +55,7 @@ class CaseResult:
     total_seconds: Optional[float]
     schedules_tried: int = 0
     nodes: int = 0
+    message: str = ""
 
     @property
     def succeeded(self) -> bool:
@@ -62,7 +70,6 @@ class CaseResult:
         dfg: DFG,
         result: MappingResult,
     ) -> "CaseResult":
-        succeeded = result.success
         return cls(
             benchmark=benchmark,
             cgra_size=cgra_size,
@@ -70,11 +77,12 @@ class CaseResult:
             status=result.status.value,
             ii=result.ii,
             mii=result.mii,
-            time_phase_seconds=result.time_phase_seconds if succeeded else None,
-            space_phase_seconds=result.space_phase_seconds if succeeded else None,
-            total_seconds=result.total_seconds if succeeded else None,
+            time_phase_seconds=result.time_phase_seconds,
+            space_phase_seconds=result.space_phase_seconds,
+            total_seconds=result.total_seconds,
             schedules_tried=result.schedules_tried,
             nodes=dfg.num_nodes,
+            message=result.message,
         )
 
 
@@ -114,6 +122,34 @@ def run_baseline_case(
     mapper = SatMapItMapper(cgra, baseline_config(timeout_seconds))
     result = mapper.map(dfg)
     return CaseResult.from_mapping_result(benchmark, size, "satmapit", dfg, result)
+
+
+APPROACHES: Dict[str, str] = {
+    "monomorphism": "monomorphism",
+    "mono": "monomorphism",
+    "decoupled": "monomorphism",
+    "satmapit": "satmapit",
+    "baseline": "satmapit",
+}
+
+
+def normalize_approach(approach: str) -> str:
+    """Canonical approach name ('monomorphism' or 'satmapit')."""
+    try:
+        return APPROACHES[approach.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown approach {approach!r}; expected one of {sorted(APPROACHES)}"
+        ) from exc
+
+
+def run_case(
+    benchmark: str, size: str, approach: str, timeout_seconds: float = 60.0
+) -> CaseResult:
+    """Run one case of either approach (the batch engine's entry point)."""
+    if normalize_approach(approach) == "monomorphism":
+        return run_decoupled_case(benchmark, size, timeout_seconds)
+    return run_baseline_case(benchmark, size, timeout_seconds)
 
 
 def compilation_time_ratio(

@@ -18,7 +18,7 @@ Run e.g.::
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.paper_data import PAPER_AVERAGE_CTR, PAPER_TABLE3
 from repro.experiments.runner import (
@@ -39,13 +39,29 @@ def run_size_block(
     timeout_seconds: float,
     run_baseline: bool = True,
     verbose: bool = False,
+    results: Optional[Dict[Tuple[str, str, str], CaseResult]] = None,
 ) -> Dict[str, object]:
-    """Run one CGRA-size block of Table III and return its data."""
+    """Run one CGRA-size block of Table III and return its data.
+
+    ``results`` may hold precomputed cases keyed by
+    ``(benchmark, size, approach)`` -- filled by the batch engine when the
+    driver runs with ``--jobs``/``--cache``; missing cases run inline.
+    """
+
+    def case_for(name: str, approach: str) -> CaseResult:
+        if results is not None:
+            hit = results.get((name, size, approach))
+            if hit is not None:
+                return hit
+        if approach == "monomorphism":
+            return run_decoupled_case(name, size, timeout_seconds)
+        return run_baseline_case(name, size, timeout_seconds)
+
     rows: List[Dict[str, object]] = []
     for name in benchmarks:
-        mono = run_decoupled_case(name, size, timeout_seconds)
+        mono = case_for(name, "monomorphism")
         if run_baseline:
-            baseline = run_baseline_case(name, size, timeout_seconds)
+            baseline = case_for(name, "satmapit")
         else:
             baseline = None
         ratio = compilation_time_ratio(mono, baseline) if baseline else None
@@ -59,9 +75,13 @@ def run_size_block(
             "paper": paper,
         })
         if verbose:
-            mono_text = format_seconds(mono.total_seconds)
+            mono_text = (
+                format_seconds(mono.total_seconds) if mono.succeeded else "TO"
+            )
             base_text = (
-                format_seconds(baseline.total_seconds) if baseline else "skipped"
+                "skipped" if baseline is None
+                else format_seconds(baseline.total_seconds)
+                if baseline.succeeded else "TO"
             )
             print(f"  [{size}] {name}: mono={mono_text}s II={mono.ii} "
                   f"baseline={base_text}s II={baseline.ii if baseline else '-'}")
@@ -169,11 +189,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="skip the SAT-MapIt-style baseline")
     parser.add_argument("--csv-prefix", type=str, default=None,
                         help="write one CSV per size with this prefix")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run the cases through the parallel batch "
+                             "engine with this many workers")
+    parser.add_argument("--cache", type=str, default=None,
+                        help="JSONL result cache shared with 'repro-map "
+                             "sweep'; solved cases are skipped")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     for name in args.benchmarks:
         spec(name)  # fail early on typos
+
+    results = None
+    if args.jobs > 1 or args.cache:
+        from repro.experiments.batch import (
+            BatchRunner, build_cases, results_by_case,
+        )
+        approaches = ["monomorphism"]
+        if not args.no_baseline:
+            approaches.append("satmapit")
+        cases = build_cases(args.benchmarks, args.sizes, approaches,
+                            args.timeout)
+        runner = BatchRunner(
+            jobs=max(1, args.jobs),
+            cache_path=args.cache,
+            progress=print if args.verbose else None,
+        )
+        report = runner.run(cases)
+        results = results_by_case(cases, report)
+        print(report.summary() + "\n")
 
     for size in args.sizes:
         block = run_size_block(
@@ -182,6 +227,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.timeout,
             run_baseline=not args.no_baseline,
             verbose=args.verbose,
+            results=results,
         )
         table = block_to_table(block)
         print(table.render())

@@ -13,7 +13,7 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.arch.isa import Opcode
-from repro.graphs.dfg import DFG, DependenceKind
+from repro.graphs.dfg import DFG
 
 _ALU_OPCODES: Sequence[Opcode] = (
     Opcode.ADD,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Set
 
 from repro.matching.ordering import most_constrained_first_order
 

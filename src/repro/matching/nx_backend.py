@@ -7,7 +7,7 @@ search (:mod:`repro.matching.monomorphism`) is compared against networkx's
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Sequence
+from typing import Dict, Optional
 
 import networkx as nx
 from networkx.algorithms import isomorphism

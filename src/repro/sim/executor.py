@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.arch.isa import Opcode
 from repro.core.mapping import Mapping
 from repro.sim.machine import CGRAMachine, DataMemory, SimulationError
 from repro.sim.program import ConfigurationMemory, KernelInstruction

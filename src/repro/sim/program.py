@@ -9,12 +9,11 @@ memory of Fig. 1 would contain -- and is what the cycle-level executor runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.isa import Opcode, arity as opcode_arity
 from repro.core.mapping import Mapping
-from repro.graphs.dfg import DependenceKind
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,8 @@ resolved when clauses are added.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterable, List, Optional
 
 TRUE_LIT = "TRUE"
 FALSE_LIT = "FALSE"
@@ -45,6 +46,16 @@ class VariablePool:
             return existing
         return self.new_var(key)
 
+    def rollback(self, num_vars: int) -> None:
+        """Forget every variable above ``num_vars`` (scope retraction)."""
+        if num_vars < 0 or num_vars > self.num_vars:
+            raise ValueError(f"cannot roll back to {num_vars} variables")
+        for var in range(num_vars + 1, self._next):
+            key = self._key_of.pop(var, None)
+            if key is not None:
+                del self._by_key[key]
+        self._next = num_vars + 1
+
     def lookup(self, key: Hashable) -> Optional[int]:
         return self._by_key.get(key)
 
@@ -59,6 +70,7 @@ class CNF:
         self.pool = pool if pool is not None else VariablePool()
         self.clauses: List[List[int]] = []
         self.contradiction = False
+        self._guards: List[int] = []
 
     @property
     def num_vars(self) -> int:
@@ -71,15 +83,43 @@ class CNF:
     def new_var(self, key: Optional[Hashable] = None) -> int:
         return self.pool.new_var(key)
 
+    @contextmanager
+    def guard(self, selector: int):
+        """Add ``not selector`` to every clause added inside the context.
+
+        Guarded clauses are *activating*: they only bite when ``selector``
+        is assumed true, which is how scoped constraint groups (one group
+        per II / slack attempt) are switched on and off without touching the
+        clause database. Guards nest (a clause gets every active guard).
+        """
+        if not isinstance(selector, int) or selector == 0:
+            raise ValueError(f"invalid guard literal {selector!r}")
+        self._guards.append(selector)
+        try:
+            yield
+        finally:
+            self._guards.pop()
+
+    @contextmanager
+    def unguarded(self):
+        """Temporarily suspend active guards (for globally true clauses)."""
+        saved, self._guards = self._guards, []
+        try:
+            yield
+        finally:
+            self._guards = saved
+
     def add_clause(self, literals: Iterable) -> None:
         """Add a clause, simplifying TRUE/FALSE pseudo-literals.
 
         A clause containing :data:`TRUE_LIT` is dropped; :data:`FALSE_LIT`
         literals are removed. An empty resulting clause marks the formula as
-        contradictory.
+        contradictory. Active :meth:`guard` selectors are appended negated.
         """
         clause: List[int] = []
         seen = set()
+        if self._guards:
+            literals = list(literals) + [negate(g) for g in self._guards]
         for lit in literals:
             if lit == TRUE_LIT:
                 return

@@ -21,6 +21,7 @@ clauses between them. Difference constraints are encoded over order literals
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -67,6 +68,9 @@ class FiniteDomainProblem:
         self._solver_clause_count = 0
         self._preferred_true: List[int] = []
         self._initial_activity: Dict[int, float] = {}
+        self._push_stack: List[
+            Tuple[int, bool, Tuple[int, int, int, int, int], int]
+        ] = []
 
     # ------------------------------------------------------------------ #
     # Variables
@@ -94,6 +98,20 @@ class FiniteDomainProblem:
         """Create a fresh Boolean variable; returns its positive literal."""
         return self.cnf.new_var(key)
 
+    def new_selector(self, key: Optional[Hashable] = None) -> int:
+        """A fresh Boolean used to activate a scoped constraint group.
+
+        Clauses added inside ``with problem.guard(selector):`` only apply
+        when the selector is passed as an assumption to :meth:`solve`.
+        """
+        return self.cnf.pool.var(key) if key is not None else self.cnf.new_var()
+
+    @contextmanager
+    def guard(self, selector: int):
+        """Guard every clause added inside the context with ``selector``."""
+        with self.cnf.guard(selector):
+            yield
+
     def prioritize(self, var: IntVar, weight: float) -> None:
         """Bias the SAT branching order towards ``var``.
 
@@ -113,6 +131,12 @@ class FiniteDomainProblem:
         return list(self._vars.values())
 
     def _encode_domain(self, var: IntVar) -> None:
+        # Domain encodings are universally true (they define the variable),
+        # so they must never be weakened by an active constraint-group guard.
+        with self.cnf.unguarded():
+            self._encode_domain_clauses(var)
+
+    def _encode_domain_clauses(self, var: IntVar) -> None:
         name = var.name
         # order consistency: [x <= v] -> [x <= v+1]
         for value in range(var.lo, var.hi - 1):
@@ -171,9 +195,13 @@ class FiniteDomainProblem:
         existing = self._mod_indicator.get(key)
         if existing is not None:
             return existing
-        indicator = self.cnf.new_var(("mod", var.name, modulus, residue))
-        for t in values:
-            self.cnf.add_clause([negate(self.value_literal(var, t)), indicator])
+        # ``pool.var`` (get-or-create) so a pop()-truncated indicator can be
+        # re-created under the same SAT variable; the implications are
+        # universally true, so they bypass any active guard.
+        indicator = self.cnf.pool.var(("mod", var.name, modulus, residue))
+        with self.cnf.unguarded():
+            for t in values:
+                self.cnf.add_clause([negate(self.value_literal(var, t)), indicator])
         self._mod_indicator[key] = indicator
         return indicator
 
@@ -247,9 +275,7 @@ class FiniteDomainProblem:
         for literal in self._preferred_true:
             self._solver.phase[literal] = True
         for literal, activity in self._initial_activity.items():
-            self._solver.activity[literal] = max(
-                self._solver.activity[literal], activity
-            )
+            self._solver.boost_activity(literal, activity)
         for clause in self.cnf.clauses[self._solver_clause_count:]:
             self._solver.add_clause(clause)
         self._solver_clause_count = len(self.cnf.clauses)
@@ -257,18 +283,87 @@ class FiniteDomainProblem:
             self._solver.ok = False
         return self._solver
 
-    def solve(self, timeout_seconds: Optional[float] = None) -> Optional[FDSolution]:
+    # ------------------------------------------------------------------ #
+    # Scoped constraint groups
+    # ------------------------------------------------------------------ #
+    def push(self) -> None:
+        """Open a retractable scope (clauses, indicators, variables)."""
+        self._sync_solver().push()
+        self._push_stack.append((
+            len(self.cnf.clauses),
+            self.cnf.contradiction,
+            (
+                len(self._vars),
+                len(self._direct),
+                len(self._order),
+                len(self._mod_indicator),
+                len(self._preferred_true),
+            ),
+            self.cnf.num_vars,
+        ))
+
+    def pop(self) -> None:
+        """Retract everything added since the matching :meth:`push`."""
+        if not self._push_stack:
+            raise RuntimeError("pop() without matching push()")
+        num_clauses, contradiction, sizes, num_vars = self._push_stack.pop()
+        if self._solver is not None:
+            self._solver.pop()
+        del self.cnf.clauses[num_clauses:]
+        self.cnf.contradiction = contradiction
+        self._solver_clause_count = num_clauses
+        for mapping, size in zip(
+            (self._vars, self._direct, self._order, self._mod_indicator),
+            sizes,
+        ):
+            for key in list(mapping.keys())[size:]:
+                del mapping[key]
+        del self._preferred_true[sizes[4]:]
+        for literal in [
+            lit for lit in self._initial_activity if lit > num_vars
+        ]:
+            del self._initial_activity[literal]
+        self.cnf.pool.rollback(num_vars)
+
+    @staticmethod
+    def _resolve_assumptions(
+        assumptions: Optional[Iterable],
+    ) -> Tuple[List[int], bool]:
+        """Normalise assumption literals; second item flags a constant FALSE."""
+        resolved: List[int] = []
+        for lit in assumptions or ():
+            if lit == TRUE_LIT:
+                continue
+            if lit == FALSE_LIT:
+                return [], True
+            resolved.append(lit)
+        return resolved, False
+
+    def solve(
+        self,
+        timeout_seconds: Optional[float] = None,
+        assumptions: Optional[Iterable] = None,
+    ) -> Optional[FDSolution]:
         """Find one solution, or ``None`` (UNSAT), or raise on timeout."""
-        result = self.solve_detailed(timeout_seconds)
+        result = self.solve_detailed(timeout_seconds, assumptions=assumptions)
         if result.status is SolveStatus.UNKNOWN:
             raise TimeoutError("finite-domain solve timed out")
         if result.status is SolveStatus.UNSAT:
             return None
         return self._extract(result)
 
-    def solve_detailed(self, timeout_seconds: Optional[float] = None) -> SolveResult:
+    def solve_detailed(
+        self,
+        timeout_seconds: Optional[float] = None,
+        assumptions: Optional[Iterable] = None,
+    ) -> SolveResult:
+        literals, impossible = self._resolve_assumptions(assumptions)
+        if impossible:
+            return SolveResult(SolveStatus.UNSAT)
         solver = self._sync_solver()
-        return solver.solve(timeout_seconds=timeout_seconds)
+        return solver.solve(
+            timeout_seconds=timeout_seconds, assumptions=literals
+        )
 
     def _extract(self, result: SolveResult) -> FDSolution:
         values: Dict[str, int] = {}
@@ -290,12 +385,17 @@ class FiniteDomainProblem:
         block_on: Optional[Sequence[IntVar]] = None,
         limit: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
+        assumptions: Optional[Iterable] = None,
+        block_guard: Optional[int] = None,
     ):
         """Yield distinct solutions, blocking each one on ``block_on`` vars.
 
         ``block_on`` defaults to all integer variables. Enumeration stops on
         UNSAT, on the ``limit``, or on a timeout (which raises
         ``TimeoutError`` only if no solution was produced in that call).
+        With ``assumptions`` each solve happens under the given literals;
+        ``block_guard`` guards the blocking clauses with a selector so they
+        are retracted when that selector is no longer assumed.
         """
         block_vars = list(block_on) if block_on is not None else self.variables()
         produced = 0
@@ -308,7 +408,9 @@ class FiniteDomainProblem:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return
-            result = self.solve_detailed(timeout_seconds=remaining)
+            result = self.solve_detailed(
+                timeout_seconds=remaining, assumptions=assumptions
+            )
             if result.status is SolveStatus.UNKNOWN:
                 if produced == 0:
                     raise TimeoutError("finite-domain enumeration timed out")
@@ -318,4 +420,9 @@ class FiniteDomainProblem:
             solution = self._extract(result)
             produced += 1
             yield solution
-            self.forbid_assignment({v: solution.value(v) for v in block_vars})
+            blocked = {v: solution.value(v) for v in block_vars}
+            if block_guard is not None:
+                with self.guard(block_guard):
+                    self.forbid_assignment(blocked)
+            else:
+                self.forbid_assignment(blocked)

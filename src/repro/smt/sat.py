@@ -10,7 +10,17 @@ learning loop:
 * VSIDS variable activities with phase saving,
 * Luby restarts,
 * wall-clock timeout support (the experiments impose per-case timeouts
-  exactly like the paper's 4000 s limit).
+  exactly like the paper's 4000 s limit),
+* **incremental solving**: the clause database, learnt clauses, variable
+  activities and saved phases all persist across ``solve`` calls,
+* **assumptions**: ``solve(assumptions=[...])`` solves under a set of
+  literals fixed for this call only (MiniSat-style assumption decision
+  levels); an UNSAT answer under assumptions does not poison the solver and
+  reports the subset of assumptions responsible (``SolveResult.core``),
+* **clause-footprint push/pop**: ``push()`` marks the clause database and
+  root trail; ``pop()`` retracts every clause (including learnt ones) and
+  root-level assignment added since, so blocking clauses and scoped
+  constraints can be undone while activities and phases survive.
 
 The solver is deliberately self-contained (lists indexed by variable, no
 recursion) so its performance is predictable for the instance sizes produced
@@ -23,10 +33,11 @@ measures.
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt.cnf import CNF
 
@@ -42,7 +53,13 @@ class SolveStatus(enum.Enum):
 
 @dataclass
 class SolveResult:
-    """Outcome of a SAT call."""
+    """Outcome of a SAT call.
+
+    ``core`` is only set for UNSAT answers obtained *under assumptions*: it
+    holds a subset of the assumption literals that is already inconsistent
+    with the clause database (a "failed core" in MiniSat terminology). A
+    plain UNSAT (no assumptions involved) leaves it ``None``.
+    """
 
     status: SolveStatus
     model: Optional[Dict[int, bool]] = None
@@ -50,6 +67,7 @@ class SolveResult:
     decisions: int = 0
     propagations: int = 0
     elapsed_seconds: float = 0.0
+    core: Optional[List[int]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -115,6 +133,12 @@ class SATSolver:
         self.decisions = 0
         self.propagations = 0
         self._unit_clauses: List[int] = []
+        self._push_stack: List[Tuple[int, int, int, bool, int]] = []
+        # VSIDS order heap with lazy (possibly stale) entries; rebuilt on
+        # activity rescale. Keeps branching O(log n) instead of a linear
+        # scan, which matters once one incremental solver carries the
+        # formula of a whole II sweep.
+        self._order_heap: List[Tuple[float, int]] = []
 
     # ------------------------------------------------------------------ #
     # Problem construction
@@ -129,7 +153,14 @@ class SATSolver:
         var = self.num_vars
         self.watches.setdefault(var, [])
         self.watches.setdefault(-var, [])
+        heapq.heappush(self._order_heap, (0.0, var))
         return var
+
+    def boost_activity(self, var: int, activity: float) -> None:
+        """Raise a variable's activity to at least ``activity``."""
+        if activity > self.activity[var]:
+            self.activity[var] = activity
+            heapq.heappush(self._order_heap, (-activity, var))
 
     def ensure_vars(self, count: int) -> None:
         """Make sure variables ``1..count`` exist."""
@@ -171,6 +202,68 @@ class SATSolver:
         return solver
 
     # ------------------------------------------------------------------ #
+    # Clause-footprint push/pop
+    # ------------------------------------------------------------------ #
+    @property
+    def scope_depth(self) -> int:
+        return len(self._push_stack)
+
+    def push(self) -> None:
+        """Mark the clause database and root trail for a later :meth:`pop`.
+
+        Scopes nest. Everything added after the mark -- problem clauses,
+        blocking clauses, learnt clauses, *variables*, and root-level
+        assignments derived from them -- is retracted by ``pop``; the
+        activities and saved phases of surviving variables persist, which
+        is what makes scoped re-solving cheap.
+        """
+        self._cancel_until(0)
+        self._push_stack.append(
+            (len(self.clauses), len(self._unit_clauses), len(self.trail),
+             self.ok, self.num_vars)
+        )
+
+    def pop(self) -> None:
+        """Retract every clause, variable, and root assignment since push."""
+        if not self._push_stack:
+            raise RuntimeError("pop() without matching push()")
+        num_clauses, num_units, trail_len, ok, num_vars = self._push_stack.pop()
+        self._cancel_until(0)
+        for lit in self.trail[trail_len:]:
+            var = abs(lit)
+            self.phase[var] = self.assign[var]
+            self.assign[var] = None
+            self.reason[var] = None
+            self.level[var] = 0
+        del self.trail[trail_len:]
+        del self.clauses[num_clauses:]
+        del self._unit_clauses[num_units:]
+        if self.num_vars > num_vars:
+            # scope-local variables die with the scope; without this the
+            # solver would keep deciding thousands of unconstrained
+            # leftovers on every later solve
+            del self.assign[num_vars + 1:]
+            del self.level[num_vars + 1:]
+            del self.reason[num_vars + 1:]
+            del self.activity[num_vars + 1:]
+            del self.phase[num_vars + 1:]
+            self.num_vars = num_vars
+        self.ok = ok
+        self.qhead = 0
+        self._rebuild_watches()
+        self._rebuild_order_heap()
+
+    def _rebuild_watches(self) -> None:
+        self.watches = {}
+        for var in range(1, self.num_vars + 1):
+            self.watches[var] = []
+            self.watches[-var] = []
+        for index, clause in enumerate(self.clauses):
+            if len(clause) >= 2:
+                self.watches[clause[0]].append(index)
+                self.watches[clause[1]].append(index)
+
+    # ------------------------------------------------------------------ #
     # Assignment helpers
     # ------------------------------------------------------------------ #
     def _value(self, lit: int) -> Optional[bool]:
@@ -198,6 +291,7 @@ class SATSolver:
             self.phase[var] = self.assign[var]  # phase saving
             self.assign[var] = None
             self.reason[var] = None
+            heapq.heappush(self._order_heap, (-self.activity[var], var))
         del self.trail[limit:]
         del self.trail_lim[target_level:]
         self.qhead = len(self.trail)
@@ -254,6 +348,17 @@ class SATSolver:
             for v in range(1, self.num_vars + 1):
                 self.activity[v] *= 1e-100
             self.var_inc *= 1e-100
+            self._rebuild_order_heap()
+        else:
+            heapq.heappush(self._order_heap, (-self.activity[var], var))
+
+    def _rebuild_order_heap(self) -> None:
+        self._order_heap = [
+            (-self.activity[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self.assign[v] is None
+        ]
+        heapq.heapify(self._order_heap)
 
     def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
         """First-UIP learning; returns (learnt clause, backtrack level)."""
@@ -317,17 +422,53 @@ class SATSolver:
         self.watches[learnt[1]].append(index)
         self._enqueue(learnt[0], index)
 
+    def _analyze_final(self, failed: int) -> List[int]:
+        """Failed-assumption core: assumptions implying ``not failed``.
+
+        ``failed`` is an assumption literal found false while placing the
+        assumption prefix. Walking the trail top-down through the reasons
+        collects the (subset of) assumption decisions responsible, exactly
+        like MiniSat's ``analyzeFinal``.
+        """
+        core = [failed]
+        if self._decision_level() == 0 or not self.trail_lim:
+            return core
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(failed)] = True
+        for lit in reversed(self.trail[self.trail_lim[0]:]):
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self.reason[var]
+            if reason is None:
+                core.append(lit)  # an assumption decision
+            else:
+                for q in self.clauses[reason][1:]:
+                    if self.level[abs(q)] > 0:
+                        seen[abs(q)] = True
+            seen[var] = False
+        return core
+
     # ------------------------------------------------------------------ #
     # Branching
     # ------------------------------------------------------------------ #
     def _pick_branch_variable(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
+        heap = self._order_heap
+        while heap:
+            neg_activity, var = heapq.heappop(heap)
+            if self.assign[var] is not None:
+                continue  # stale entry of an assigned variable
+            if -neg_activity < self.activity[var]:
+                # stale priority (bumped since push): requeue correctly
+                heapq.heappush(heap, (-self.activity[var], var))
+                continue
+            return var
+        # Safety net -- the lazy heap should never run dry while unassigned
+        # variables remain, but a linear scan keeps the solver complete.
         for var in range(1, self.num_vars + 1):
-            if self.assign[var] is None and self.activity[var] > best_activity:
-                best_activity = self.activity[var]
-                best_var = var
-        return best_var
+            if self.assign[var] is None:
+                return var
+        return None
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -336,13 +477,26 @@ class SATSolver:
         self,
         timeout_seconds: Optional[float] = None,
         max_conflicts: Optional[int] = None,
+        assumptions: Optional[Sequence[int]] = None,
     ) -> SolveResult:
-        """Run the CDCL search.
+        """Run the CDCL search, optionally under assumption literals.
+
+        Assumptions are placed as the first decisions (one decision level
+        each) and hold for this call only; clauses learnt while they are in
+        force mention their negations where needed, so the clause database
+        stays valid for later calls with different assumptions. If the
+        assumptions are inconsistent with the formula the result is UNSAT
+        with :attr:`SolveResult.core` set, and the solver remains usable.
 
         Returns a :class:`SolveResult` whose status is ``UNKNOWN`` if the
         timeout or conflict budget was exhausted before a decision was made.
         """
         start = time.monotonic()
+        assumption_list = list(assumptions) if assumptions else []
+        for lit in assumption_list:
+            if lit == 0:
+                raise ValueError("0 is not a valid assumption literal")
+            self.ensure_vars(abs(lit))
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
@@ -412,6 +566,39 @@ class SATSolver:
                 conflicts_in_restart = 0
                 conflicts_until_restart = 100 * _luby(restart_count)
                 self._cancel_until(0)
+                continue
+            # Place the next assumption (restarts and backjumps may have
+            # removed earlier ones; they are simply re-placed here).
+            next_assumption = None
+            assumption_failed = None
+            while (
+                self._decision_level() < len(assumption_list)
+                and next_assumption is None
+            ):
+                candidate = assumption_list[self._decision_level()]
+                value = self._value(candidate)
+                if value is True:
+                    self.trail_lim.append(len(self.trail))  # dummy level
+                elif value is False:
+                    assumption_failed = candidate
+                    break
+                else:
+                    next_assumption = candidate
+            if assumption_failed is not None:
+                core = self._analyze_final(assumption_failed)
+                self._cancel_until(0)
+                return SolveResult(
+                    SolveStatus.UNSAT,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                    elapsed_seconds=time.monotonic() - start,
+                    core=core,
+                )
+            if next_assumption is not None:
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(next_assumption, None)
                 continue
             var = self._pick_branch_variable()
             if var is None:

@@ -24,8 +24,8 @@ fully executable by the simulators in :mod:`repro.sim`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.isa import Opcode
 from repro.graphs.dfg import DFG

@@ -14,7 +14,6 @@ from repro.graphs.analysis import (
     rec_ii_by_cycle_enumeration,
     res_ii,
 )
-from repro.graphs.dfg import DFG
 from repro.graphs.generators import binary_tree_dfg, chain_dfg, random_dfg
 
 

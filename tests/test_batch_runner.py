@@ -1,0 +1,128 @@
+"""Tests for the parallel batch experiment engine."""
+
+import os
+
+import pytest
+
+from repro.core.mapper import MappingResult, MappingStatus
+from repro.experiments.batch import (
+    BatchCase,
+    BatchRunner,
+    build_cases,
+    results_by_case,
+)
+from repro.experiments.runner import CaseResult, normalize_approach
+from repro.workloads.suite import load_benchmark
+
+SMALL_CASES = [
+    BatchCase("bitcount", "2x2", "monomorphism", 30.0),
+    BatchCase("susan", "2x2", "monomorphism", 30.0),
+    BatchCase("bitcount", "2x2", "satmapit", 30.0),
+    BatchCase("lud", "3x3", "monomorphism", 30.0),
+]
+
+
+def _signature(result: CaseResult):
+    return (result.benchmark, result.cgra_size, result.approach,
+            result.status, result.ii, result.mii)
+
+
+class TestBatchCase:
+    def test_approach_normalisation(self):
+        assert BatchCase("aes", "2x2", "mono").approach == "monomorphism"
+        assert BatchCase("aes", "2x2", "baseline").approach == "satmapit"
+        with pytest.raises(ValueError):
+            BatchCase("aes", "2x2", "quantum")
+        with pytest.raises(ValueError):
+            normalize_approach("nope")
+
+    def test_cache_key_depends_on_configuration(self):
+        base = BatchCase("aes", "2x2", "monomorphism", 30.0)
+        assert base.cache_key() == BatchCase("aes", "2x2", "mono", 30.0).cache_key()
+        assert base.cache_key() != BatchCase("aes", "5x5", "mono", 30.0).cache_key()
+        assert base.cache_key() != BatchCase("aes", "2x2", "mono", 60.0).cache_key()
+        assert base.cache_key() != BatchCase("aes", "2x2", "satmapit", 30.0).cache_key()
+
+    def test_build_cases_grid_order(self):
+        cases = build_cases(["a", "b"], ["2x2", "5x5"], ["mono"], 10.0)
+        labels = [(c.size, c.benchmark) for c in cases]
+        assert labels == [("2x2", "a"), ("2x2", "b"), ("5x5", "a"), ("5x5", "b")]
+
+
+class TestBatchRunner:
+    def test_parallel_results_match_serial_order_and_values(self):
+        serial = BatchRunner(jobs=1).run(SMALL_CASES)
+        parallel = BatchRunner(jobs=3).run(SMALL_CASES)
+        assert [_signature(r) for r in serial.results] == [
+            _signature(r) for r in parallel.results
+        ]
+        assert serial.succeeded == len(SMALL_CASES)
+        lookup = results_by_case(SMALL_CASES, parallel)
+        assert lookup[("bitcount", "2x2", "monomorphism")].ii == 3
+
+    def test_cache_hit_short_circuits_execution(self, tmp_path):
+        path = os.fspath(tmp_path / "cache.jsonl")
+        cases = SMALL_CASES[:2]
+        first = BatchRunner(jobs=2, cache_path=path).run(cases)
+        assert first.executed == 2 and first.cache_hits == 0
+        second = BatchRunner(jobs=2, cache_path=path).run(cases)
+        assert second.executed == 0 and second.cache_hits == 2
+        assert [_signature(r) for r in first.results] == [
+            _signature(r) for r in second.results
+        ]
+        # a different configuration is a different key: it must execute
+        third = BatchRunner(jobs=1, cache_path=path).run(
+            [BatchCase("bitcount", "2x2", "monomorphism", 31.0)]
+        )
+        assert third.executed == 1 and third.cache_hits == 0
+
+    def test_cache_tolerates_garbage_lines(self, tmp_path):
+        path = os.fspath(tmp_path / "cache.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n{\"key\": \"missing-result\"}\n\n")
+        report = BatchRunner(jobs=1, cache_path=path).run(SMALL_CASES[:1])
+        assert report.executed == 1 and report.succeeded == 1
+
+    def test_hard_timeout_is_enforced_and_records_elapsed(self):
+        # particlefilter on 20x20 takes far longer than the 0.3 s hard cap
+        case = BatchCase("particlefilter", "20x20", "satmapit", 120.0)
+        report = BatchRunner(jobs=1, hard_timeout_seconds=0.3).run([case])
+        result = report.results[0]
+        assert result.status == "hard_timeout"
+        assert report.hard_timeouts == 1
+        assert result.total_seconds is not None and result.total_seconds >= 0.3
+        assert result.ii is None
+
+    def test_worker_errors_are_reported_not_raised(self):
+        report = BatchRunner(jobs=1).run(
+            [BatchCase("no-such-benchmark", "2x2", "monomorphism", 5.0)]
+        )
+        result = report.results[0]
+        assert result.status == "error"
+        assert "no-such-benchmark" in result.message
+        assert report.errors == 1
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            BatchRunner(jobs=0)
+
+
+class TestCaseResultTiming:
+    def test_failed_cases_keep_their_elapsed_time(self):
+        dfg = load_benchmark("bitcount")
+        failed = MappingResult(
+            status=MappingStatus.TIME_TIMEOUT,
+            mii=3,
+            time_phase_seconds=1.5,
+            space_phase_seconds=0.25,
+            total_seconds=1.75,
+            message="SAT solver timed out on II=3",
+        )
+        case = CaseResult.from_mapping_result(
+            "bitcount", "2x2", "monomorphism", dfg, failed
+        )
+        assert case.status == "time_timeout"
+        assert case.total_seconds == pytest.approx(1.75)
+        assert case.time_phase_seconds == pytest.approx(1.5)
+        assert case.space_phase_seconds == pytest.approx(0.25)
+        assert case.message == "SAT solver timed out on II=3"

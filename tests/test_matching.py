@@ -1,6 +1,5 @@
 """Unit and property tests for the monomorphism search engine."""
 
-import itertools
 import random
 
 import networkx as nx

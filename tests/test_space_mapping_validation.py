@@ -5,13 +5,11 @@ import json
 import pytest
 
 from repro.arch.cgra import CGRA
-from repro.core.config import MapperConfig
 from repro.core.exceptions import InvalidMappingError
 from repro.core.mapping import Mapping
 from repro.core.space_solver import SpaceSolver, build_pattern
 from repro.core.time_solver import TimeSolver
 from repro.core.validation import assert_valid_mapping, validate_mapping
-from repro.workloads.running_example import running_example_dfg
 
 
 @pytest.fixture

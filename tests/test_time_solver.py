@@ -7,7 +7,6 @@ from repro.core.config import MapperConfig
 from repro.core.time_solver import Schedule, TimeSolver
 from repro.graphs.dfg import DFG
 from repro.graphs.generators import chain_dfg, random_dfg
-from repro.workloads.running_example import running_example_dfg
 
 
 def _check_schedule(schedule: Schedule, cgra: CGRA) -> None:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs.analysis import min_ii, rec_ii, res_ii
+from repro.graphs.analysis import min_ii, rec_ii
 from repro.sim.reference import ReferenceInterpreter
 from repro.workloads.kernels import KernelShape, build_kernel
 from repro.workloads.running_example import running_example_dfg
