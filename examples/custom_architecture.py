@@ -9,7 +9,9 @@ compares, for a handful of benchmarks:
 
 * the paper's torus interconnect vs an open mesh,
 * the all-pairs MRRG time adjacency (neighbour register files stay readable)
-  vs the classic consecutive-slot-only MRRG.
+  vs the classic consecutive-slot-only MRRG,
+* two *heterogeneous* fabrics from the declarative arch-spec presets
+  (memory-capable column, mul-sparse checkerboard).
 
 Run with::
 
@@ -17,6 +19,7 @@ Run with::
 """
 
 from repro import CGRA, MapperConfig, MonomorphismMapper, Topology, TimeAdjacency
+from repro.arch.spec import build_preset
 from repro.reporting.tables import Table, format_seconds
 from repro.workloads import load_benchmark
 
@@ -50,6 +53,16 @@ def main() -> None:
             CGRA(4, 4, topology=Topology.TORUS),
             MapperConfig(total_timeout_seconds=TIMEOUT,
                          time_adjacency=TimeAdjacency.CONSECUTIVE),
+        ),
+        (
+            "memory-column mesh (heterogeneous)",
+            build_preset("memory_column_mesh", 4, 4).build(),
+            MapperConfig(total_timeout_seconds=TIMEOUT),
+        ),
+        (
+            "mul-sparse checkerboard (heterogeneous)",
+            build_preset("mul_sparse_checkerboard", 4, 4).build(),
+            MapperConfig(total_timeout_seconds=TIMEOUT),
         ),
     ]
 

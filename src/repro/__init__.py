@@ -26,9 +26,20 @@ Quickstart::
     print(result.mapping.render_kernel())
 """
 
-from repro.arch import CGRA, MRRG, Opcode, TimeAdjacency, Topology
+from repro.arch import (
+    ArchSpec,
+    CGRA,
+    MRRG,
+    Opcode,
+    TimeAdjacency,
+    Topology,
+    build_preset,
+    preset_names,
+    resolve_arch,
+)
 from repro.core import (
     MapperConfig,
+    analyze_feasibility,
     Mapping,
     MappingResult,
     MappingStatus,
@@ -42,11 +53,16 @@ from repro.workloads import load_benchmark, benchmark_names, running_example_dfg
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArchSpec",
     "CGRA",
     "MRRG",
     "Opcode",
     "TimeAdjacency",
     "Topology",
+    "build_preset",
+    "preset_names",
+    "resolve_arch",
+    "analyze_feasibility",
     "MapperConfig",
     "Mapping",
     "MappingResult",

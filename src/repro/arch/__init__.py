@@ -6,9 +6,12 @@ This subpackage models the hardware substrate targeted by the mapper:
   with latency and arity metadata.
 * :mod:`repro.arch.pe` -- a single Processing Element and its register file.
 * :mod:`repro.arch.topology` -- interconnect topologies (open mesh, torus).
-* :mod:`repro.arch.cgra` -- the 2D CGRA array (the spatial graph).
+* :mod:`repro.arch.cgra` -- the 2D CGRA array (the spatial graph), possibly
+  heterogeneous (per-PE operation sets).
 * :mod:`repro.arch.mrrg` -- the Modulo Routing Resource Graph, i.e. ``II``
   stacked copies of the CGRA linked by time adjacencies (paper Sec. IV-A).
+* :mod:`repro.arch.spec` -- the declarative, JSON-serialisable architecture
+  specification and the preset fabric library.
 """
 
 from repro.arch.isa import Opcode, OPCODE_INFO, latency, arity, is_memory_op
@@ -16,6 +19,14 @@ from repro.arch.pe import ProcessingElement, RegisterFile
 from repro.arch.topology import Topology, grid_neighbors
 from repro.arch.cgra import CGRA
 from repro.arch.mrrg import MRRG, TimeAdjacency
+from repro.arch.spec import (
+    ArchSpec,
+    PRESETS,
+    build_preset,
+    preset_names,
+    resolve_arch,
+    spec_of,
+)
 
 __all__ = [
     "Opcode",
@@ -30,4 +41,10 @@ __all__ = [
     "CGRA",
     "MRRG",
     "TimeAdjacency",
+    "ArchSpec",
+    "PRESETS",
+    "build_preset",
+    "preset_names",
+    "resolve_arch",
+    "spec_of",
 ]

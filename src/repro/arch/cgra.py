@@ -6,7 +6,7 @@ This is the *spatial* half of the mapping problem. The temporal expansion
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -31,7 +31,13 @@ class CGRA:
             paper's uniform-degree assumption (``D_M`` = 3 for 2x2, 5 for
             3x3 and larger).
         register_file_size: per-PE register file capacity.
-        operations: ISA subset supported by every PE (homogeneous array).
+        operations: ISA subset supported by every PE not covered by
+            ``pe_operations`` (the homogeneous default).
+        pe_operations: optional per-PE operation sets, keyed by row-major
+            PE index; PEs absent from the mapping fall back to
+            ``operations``. This is what makes the array *heterogeneous*
+            (memory-capable columns, mul-capable subsets, ...); the mapper,
+            the baseline, and the validator all consult it.
     """
 
     def __init__(
@@ -41,6 +47,7 @@ class CGRA:
         topology: Topology = Topology.TORUS,
         register_file_size: int = 32,
         operations: Optional[Iterable[Opcode]] = None,
+        pe_operations: Optional[Dict[int, Iterable[Opcode]]] = None,
     ) -> None:
         if rows < 1 or cols < 1:
             raise ValueError("CGRA dimensions must be positive")
@@ -53,17 +60,26 @@ class CGRA:
         ops: FrozenSet[Opcode] = (
             frozenset(operations) if operations is not None else DEFAULT_PE_OPERATIONS
         )
+        overrides: Dict[int, FrozenSet[Opcode]] = {}
+        if pe_operations is not None:
+            for index, op_set in pe_operations.items():
+                if not (0 <= index < rows * cols):
+                    raise ValueError(
+                        f"pe_operations index {index} outside a {rows}x{cols} CGRA"
+                    )
+                overrides[index] = frozenset(op_set)
         self._pes: List[ProcessingElement] = [
             ProcessingElement(
                 index=r * cols + c,
                 row=r,
                 col=c,
-                operations=ops,
+                operations=overrides.get(r * cols + c, ops),
                 register_file_size=register_file_size,
             )
             for r in range(rows)
             for c in range(cols)
         ]
+        self._supporting: Dict[Opcode, FrozenSet[int]] = {}
         self._neighbors: List[FrozenSet[int]] = []
         for pe in self._pes:
             positions = grid_neighbors(rows, cols, pe.row, pe.col, topology)
@@ -150,7 +166,34 @@ class CGRA:
 
     def supports_everywhere(self, opcode: Opcode) -> bool:
         """True if every PE of the array can execute ``opcode``."""
-        return all(pe.supports(opcode) for pe in self._pes)
+        return len(self.supporting_pes(opcode)) == self.num_pes
+
+    # ------------------------------------------------------------------ #
+    # Operation support (heterogeneity)
+    # ------------------------------------------------------------------ #
+    def supports(self, pe_index: int, opcode: Opcode) -> bool:
+        """True if PE ``pe_index`` can execute ``opcode``."""
+        return self._pes[pe_index].supports(opcode)
+
+    def supporting_pes(self, opcode: Opcode) -> FrozenSet[int]:
+        """Indices of the PEs able to execute ``opcode`` (cached)."""
+        cached = self._supporting.get(opcode)
+        if cached is None:
+            cached = frozenset(
+                pe.index for pe in self._pes if pe.supports(opcode)
+            )
+            self._supporting[opcode] = cached
+        return cached
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True if every PE supports the same operation set."""
+        first = self._pes[0].operations
+        return all(pe.operations == first for pe in self._pes)
+
+    def operation_sets(self) -> Tuple[FrozenSet[Opcode], ...]:
+        """Per-PE operation sets in row-major order (the heterogeneity map)."""
+        return tuple(pe.operations for pe in self._pes)
 
     @property
     def size_label(self) -> str:
@@ -170,7 +213,14 @@ class CGRA:
             and self.cols == other.cols
             and self.topology == other.topology
             and self.register_file_size == other.register_file_size
+            and self.operation_sets() == other.operation_sets()
         )
 
     def __hash__(self) -> int:
-        return hash((self.rows, self.cols, self.topology, self.register_file_size))
+        return hash((
+            self.rows,
+            self.cols,
+            self.topology,
+            self.register_file_size,
+            self.operation_sets(),
+        ))

@@ -31,6 +31,7 @@ from typing import Iterator, List
 import networkx as nx
 
 from repro.arch.cgra import CGRA
+from repro.arch.isa import Opcode
 
 
 class TimeAdjacency(enum.Enum):
@@ -96,6 +97,27 @@ class MRRG:
         return iter(range(base, base + self._num_pes))
 
     # ------------------------------------------------------------------ #
+    # Operation compatibility (heterogeneous arrays)
+    # ------------------------------------------------------------------ #
+    def supports(self, vertex: int, opcode: Opcode) -> bool:
+        """True if the PE behind ``vertex`` can execute ``opcode``.
+
+        Every time-step copy of a PE inherits the PE's operation set, so
+        compatibility is a per-vertex attribute of the time-extended graph.
+        """
+        return self.cgra.supports(self.pe_of(vertex), opcode)
+
+    def compatible_vertices(self, slot: int, opcode: Opcode) -> Iterator[int]:
+        """Vertices of time step ``slot`` whose PE supports ``opcode``."""
+        if not (0 <= slot < self.ii):
+            raise ValueError(f"slot {slot} out of range for II={self.ii}")
+        base = slot * self._num_pes
+        supporting = self.cgra.supporting_pes(opcode)
+        if len(supporting) == self._num_pes:
+            return iter(range(base, base + self._num_pes))
+        return iter(base + pe for pe in sorted(supporting))
+
+    # ------------------------------------------------------------------ #
     # Adjacency
     # ------------------------------------------------------------------ #
     def _slots_adjacent(self, slot_a: int, slot_b: int) -> bool:
@@ -151,7 +173,13 @@ class MRRG:
         """Materialise the MRRG as a networkx graph (small instances only)."""
         graph = nx.Graph()
         for v in self.vertices():
-            graph.add_node(v, pe=self.pe_of(v), slot=self.slot_of(v), label=self.label(v))
+            graph.add_node(
+                v,
+                pe=self.pe_of(v),
+                slot=self.slot_of(v),
+                label=self.label(v),
+                operations=self.cgra.pe(self.pe_of(v)).operations,
+            )
         for v in self.vertices():
             for u in self.neighbors(v):
                 if u > v:

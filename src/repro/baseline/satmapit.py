@@ -38,14 +38,13 @@ from typing import Dict, List, Optional
 
 from repro.arch.cgra import CGRA
 from repro.core.config import BaselineConfig
-from repro.core.mapper import MappingResult, MappingStatus
+from repro.core.mapper import MappingResult, MappingStatus, begin_mapping
 from repro.core.mapping import Mapping
 from repro.core.time_solver import Schedule
 from repro.core.validation import assert_valid_mapping
 from repro.graphs.analysis import (
     critical_path_length,
     mobility_schedule,
-    rec_ii,
     res_ii,
 )
 from repro.graphs.dfg import DFG
@@ -91,7 +90,8 @@ class _CoupledEncoding:
         return min(max(slack, self._needed_slack), self.max_slack)
 
     def _build_base(self) -> None:
-        """II-independent encoding: variables, data precedence, routability."""
+        """II-independent encoding: variables, data precedence, routability,
+        and per-node operation-support placement restrictions."""
         problem = self.problem
         num_pes = self.cgra.num_pes
         for node_id in self.dfg.node_ids():
@@ -101,6 +101,7 @@ class _CoupledEncoding:
             self._base_latest[node_id] = self.mobs.latest(node_id) - self.max_slack
             self.place_vars[node_id] = problem.new_int(f"p{node_id}", 0, num_pes - 1)
         self._check_deadline()
+        self._add_op_support()
         for edge in self.dfg.edges():
             if edge.distance == 0:
                 problem.add_ge(
@@ -110,6 +111,14 @@ class _CoupledEncoding:
                 )
         self._check_deadline()
         self._add_routability()
+
+    def _add_op_support(self) -> None:
+        """Forbid placing a node on a PE that cannot execute its opcode."""
+        for node in self.dfg.nodes():
+            supporting = self.cgra.supporting_pes(node.opcode)
+            if len(supporting) == self.cgra.num_pes:
+                continue
+            self.problem.restrict_domain(self.place_vars[node.id], supporting)
 
     def _add_routability(self) -> None:
         """Endpoints of every dependence on identical or adjacent PEs."""
@@ -230,9 +239,10 @@ class SatMapItMapper:
         budget = self.config.timeout_seconds
         deadline = start + budget if budget is not None else None
 
-        resource_ii = res_ii(dfg, self.cgra.num_pes)
-        recurrence_ii = rec_ii(dfg)
-        mii = max(resource_ii, recurrence_ii)
+        resource_ii, recurrence_ii, mii, infeasible = begin_mapping(dfg, self.cgra)
+        if infeasible is not None:
+            infeasible.total_seconds = time.monotonic() - start
+            return infeasible
         max_ii = self._max_ii(dfg, mii)
         result = MappingResult(
             status=MappingStatus.NO_SOLUTION,

@@ -4,14 +4,21 @@ Subcommands::
 
     repro-map list                         # available benchmarks / kernels
     repro-map map --benchmark crc32 --cgra 4x4
+    repro-map map --benchmark fft --arch memory_column_mesh --cgra 4x4
     repro-map map --kernel-example dot_product --cgra 5x5 --simulate
     repro-map map --kernel-file my_loop.k --cgra 8x8 --json mapping.json
+    repro-map arch list                    # architecture presets
+    repro-map arch show mul_sparse_checkerboard --size 4x4
+    repro-map arch dump memory_column_mesh --size 4x4 --out fabric.json
     repro-map table1                       # paper Table I / II
     repro-map table3 --sizes 2x2 5x5       # paper Table III
     repro-map fig5 --sizes 2x2 5x5 10x10   # paper Fig. 5
     repro-map ablation --benchmarks aes    # design-choice ablation
     repro-map sweep --sizes 2x2 5x5 --jobs 4 --cache results.jsonl
                                            # parallel batch over the suite
+    repro-map sweep --arch mul_sparse_checkerboard --sizes 4x4
+    repro-map archsweep --benchmarks bitcount --size 4x4
+                                           # II across fabrics
 """
 
 from __future__ import annotations
@@ -20,12 +27,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.arch.spec import ArchSpec, preset_names, resolve_arch
 from repro.baseline.satmapit import SatMapItMapper
 from repro.core.config import BaselineConfig, MapperConfig
 from repro.core.mapper import MonomorphismMapper
-from repro.experiments import ablation, fig5, table1_table2, table3
+from repro.experiments import ablation, arch_sweep, fig5, table1_table2, table3
 from repro.experiments.batch import BatchRunner, build_cases
-from repro.experiments.runner import build_cgra, parse_size
+from repro.experiments.runner import build_cgra_from_arch, parse_size
 from repro.frontend import EXAMPLE_KERNELS, extract_dfg
 from repro.reporting.tables import Table, format_seconds
 from repro.sim.executor import run_and_compare
@@ -59,9 +67,10 @@ def _load_dfg(args: argparse.Namespace):
 
 def _cmd_map(args: argparse.Namespace) -> int:
     dfg, program = _load_dfg(args)
-    cgra = build_cgra(args.cgra)
+    cgra = build_cgra_from_arch(args.cgra, args.arch)
+    fabric = "" if cgra.is_homogeneous else ", heterogeneous"
     print(f"Mapping {dfg.name!r} ({dfg.num_nodes} nodes, {dfg.num_edges} edges) "
-          f"onto a {cgra.size_label} CGRA ({cgra.topology})")
+          f"onto a {cgra.size_label} CGRA ({cgra.topology}{fabric})")
 
     if args.baseline:
         mapper = SatMapItMapper(
@@ -106,29 +115,74 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_arch(args: argparse.Namespace) -> int:
+    """Inspect / export the declarative architecture specs."""
+    if args.arch_command == "list":
+        print("Architecture presets (size-parametric):")
+        for name in preset_names():
+            print(f"  {name}")
+        print("\nAny `--arch` option also accepts a path to an arch-spec "
+              "JSON file (see docs/architecture-spec.md).")
+        return 0
+    rows, cols = parse_size(args.size)
+    arch_spec = resolve_arch(args.arch, rows, cols)
+    if args.arch_command == "show":
+        print(arch_spec.describe())
+        return 0
+    # dump: serialise, and prove the round trip before writing
+    text = arch_spec.to_json()
+    if ArchSpec.from_json(text) != arch_spec:
+        print("error: arch spec does not round-trip through JSON")
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"arch spec written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a (benchmark x size x approach) grid through the batch engine."""
     benchmarks = args.benchmarks if args.benchmarks else benchmark_names()
     for name in benchmarks:
         if name not in ("running_example", "example"):
             spec(name)  # fail early on typos
-    for size in args.sizes:
+    sizes = list(args.sizes)
+    for size in sizes:
         parse_size(size)
+    if args.arch is not None:
+        # fail fast on a typo'd preset / missing spec file instead of
+        # spawning one doomed worker per grid case
+        rows, cols = parse_size(sizes[0])
+        arch_spec = resolve_arch(args.arch, rows, cols)
+        if args.arch.endswith(".json"):
+            # a spec file's dimensions override every requested size, so
+            # one size is enough; more would re-run identical fabrics
+            sizes = [arch_spec.size_label]
+            print(f"note: --arch spec file fixes the array size to "
+                  f"{arch_spec.size_label}; --sizes ignored")
     approaches = args.approaches
-    cases = build_cases(benchmarks, args.sizes, approaches, args.timeout)
+    cases = build_cases(benchmarks, sizes, approaches, args.timeout,
+                        arch=args.arch)
     progress = None if args.quiet else print
     runner = BatchRunner(jobs=args.jobs, cache_path=args.cache,
                          progress=progress)
     report = runner.run(cases)
 
+    arch_column = args.arch is not None
+    headers = ["Benchmark", "CGRA", "Approach", "Status", "II", "mII",
+               "Time", "Space", "Total"]
+    if arch_column:
+        headers.insert(2, "Arch")
     table = Table(
-        headers=["Benchmark", "CGRA", "Approach", "Status", "II", "mII",
-                 "Time", "Space", "Total"],
+        headers=headers,
         title=f"Sweep -- {len(cases)} case(s), jobs={args.jobs}"
               + (f", cache={args.cache}" if args.cache else ""),
     )
     for result in report.results:
-        table.add_row(
+        cells = [
             result.benchmark,
             result.cgra_size,
             result.approach,
@@ -138,7 +192,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             format_seconds(result.time_phase_seconds),
             format_seconds(result.space_phase_seconds),
             format_seconds(result.total_seconds),
-        )
+        ]
+        if arch_column:
+            cells.insert(2, result.arch or "-")
+        table.add_row(*cells)
     print(table.render())
     print(report.summary())
     if args.csv:
@@ -165,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="one of the bundled front-end kernels")
     source.add_argument("--kernel-file", help="path to a kernel source file")
     map_parser.add_argument("--cgra", default="4x4", help="CGRA size, e.g. 4x4")
+    map_parser.add_argument("--arch", default=None,
+                            help="architecture preset name (see `repro-map "
+                                 "arch list`) or arch-spec JSON path; a "
+                                 "spec file's own size wins over --cgra")
     map_parser.add_argument("--timeout", type=float, default=60.0)
     map_parser.add_argument("--baseline", action="store_true",
                             help="use the SAT-MapIt-style coupled baseline")
@@ -175,6 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="loop iterations to simulate")
     map_parser.add_argument("--json", help="write the mapping to a JSON file")
     map_parser.set_defaults(handler=_cmd_map)
+
+    arch_parser = subparsers.add_parser(
+        "arch", help="list, show or export architecture specs")
+    arch_sub = arch_parser.add_subparsers(dest="arch_command", required=True)
+    arch_list = arch_sub.add_parser("list", help="list the presets")
+    arch_list.set_defaults(handler=_cmd_arch)
+    for sub_name, sub_help in (("show", "describe one fabric"),
+                               ("dump", "serialise one fabric to JSON")):
+        sub = arch_sub.add_parser(sub_name, help=sub_help)
+        sub.add_argument("arch", help="preset name or arch-spec JSON path")
+        sub.add_argument("--size", default="4x4",
+                         help="array size for presets (default 4x4)")
+        if sub_name == "dump":
+            sub.add_argument("--out", default=None,
+                             help="output path (default: stdout)")
+        sub.set_defaults(handler=_cmd_arch)
 
     table1_parser = subparsers.add_parser(
         "table1", help="reproduce paper Table I / Table II")
@@ -195,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_parser.add_argument("rest", nargs=argparse.REMAINDER)
     ablation_parser.set_defaults(handler=lambda args: ablation.main(args.rest))
 
+    archsweep_parser = subparsers.add_parser(
+        "archsweep",
+        help="compare II across fabrics (forwards extra args)")
+    archsweep_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    archsweep_parser.set_defaults(handler=lambda args: arch_sweep.main(args.rest))
+
     sweep_parser = subparsers.add_parser(
         "sweep",
         help="run a (benchmark x size x approach) grid in parallel with "
@@ -209,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=["monomorphism", "mono", "decoupled",
                                        "satmapit", "baseline"],
                               help="mapper approaches to run")
+    sweep_parser.add_argument("--arch", default=None,
+                              help="architecture preset or arch-spec JSON "
+                                   "path applied to every case (default: "
+                                   "homogeneous torus)")
     sweep_parser.add_argument("--timeout", type=float, default=60.0,
                               help="per-case soft timeout in seconds")
     sweep_parser.add_argument("--jobs", type=int, default=1,
@@ -232,7 +319,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # The experiment subcommands own their full option set; forward their
     # arguments untouched instead of fighting argparse.REMAINDER quirks.
     forwarded = {"table3": table3.main, "fig5": fig5.main,
-                 "ablation": ablation.main}
+                 "ablation": ablation.main, "archsweep": arch_sweep.main}
     if argv and argv[0] in forwarded:
         return forwarded[argv[0]](argv[1:])
     parser = build_parser()

@@ -17,6 +17,11 @@ check against all paper properties (mono1/2/3 plus dependence timing).
 """
 
 from repro.core.config import MapperConfig
+from repro.core.feasibility import (
+    FeasibilityReport,
+    analyze_feasibility,
+    heterogeneous_res_ii,
+)
 from repro.core.exceptions import (
     MappingError,
     NoScheduleError,
@@ -32,6 +37,9 @@ from repro.core.validation import validate_mapping, assert_valid_mapping
 
 __all__ = [
     "MapperConfig",
+    "FeasibilityReport",
+    "analyze_feasibility",
+    "heterogeneous_res_ii",
     "MappingError",
     "NoScheduleError",
     "NoMappingError",

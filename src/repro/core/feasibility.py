@@ -1,0 +1,85 @@
+"""Operation-compatibility feasibility analysis for heterogeneous fabrics.
+
+Before any SAT formula is built, both mappers run the DFG's opcode profile
+against the target CGRA's per-PE operation sets:
+
+* a node whose opcode is supported by *no* PE makes the kernel infeasible
+  on that fabric -- the mappers report this cleanly
+  (:attr:`repro.core.mapper.MappingStatus.INFEASIBLE`) instead of burning
+  the solver budget on a formula that is UNSAT for every II;
+* an opcode supported by only ``k < num_pes`` PEs tightens the resource
+  bound: at most ``k`` such operations fit into one kernel slot, so
+  ``ceil(count / k)`` is a valid lower bound on the II, analogous to the
+  paper's ResII but computed per support class.
+
+Nodes are grouped by their *support set* (the exact set of PEs able to run
+them) rather than by opcode: two opcodes restricted to the same PEs compete
+for the same slots, so the per-group bound is tighter than a per-opcode one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from repro.arch.cgra import CGRA
+from repro.arch.isa import Opcode
+from repro.graphs.dfg import DFG
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of :func:`analyze_feasibility` for one (DFG, CGRA) pair."""
+
+    #: opcode -> node ids that no PE of the fabric can execute
+    unsupported: Dict[Opcode, List[int]] = field(default_factory=dict)
+    #: support-class resource bound: max over classes of ceil(count / |PEs|)
+    op_res_ii: int = 1
+    #: node ids grouped by the exact set of PEs able to execute them,
+    #: restricted to classes smaller than the whole array
+    restricted_classes: Dict[FrozenSet[int], List[int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def feasible(self) -> bool:
+        return not self.unsupported
+
+    def message(self) -> str:
+        if self.feasible:
+            return ""
+        parts = [
+            f"opcode {opcode} (nodes {sorted(nodes)}) is supported by no PE"
+            for opcode, nodes in sorted(
+                self.unsupported.items(), key=lambda item: item[0].value
+            )
+        ]
+        return "kernel infeasible on this fabric: " + "; ".join(parts)
+
+
+def analyze_feasibility(dfg: DFG, cgra: CGRA) -> FeasibilityReport:
+    """Check every DFG opcode against the fabric's per-PE operation sets."""
+    report = FeasibilityReport()
+    by_support: Dict[FrozenSet[int], List[int]] = {}
+    for node in dfg.nodes():
+        supporting = cgra.supporting_pes(node.opcode)
+        if not supporting:
+            report.unsupported.setdefault(node.opcode, []).append(node.id)
+            continue
+        by_support.setdefault(supporting, []).append(node.id)
+    bound = 1
+    for supporting, nodes in by_support.items():
+        bound = max(bound, -(-len(nodes) // len(supporting)))  # ceil division
+        if len(supporting) < cgra.num_pes:
+            report.restricted_classes[supporting] = sorted(nodes)
+    report.op_res_ii = bound
+    return report
+
+
+def heterogeneous_res_ii(dfg: DFG, cgra: CGRA) -> int:
+    """Support-class-aware resource II (equals ResII on homogeneous arrays).
+
+    Opcodes supported nowhere are ignored here; callers are expected to
+    reject those through :func:`analyze_feasibility` first.
+    """
+    return analyze_feasibility(dfg, cgra).op_res_ii

@@ -37,6 +37,7 @@ from typing import Optional, Tuple
 from repro.arch.cgra import CGRA
 from repro.core.config import MapperConfig
 from repro.core.exceptions import PhaseTimeoutError
+from repro.core.feasibility import analyze_feasibility
 from repro.core.mapping import Mapping
 from repro.core.space_solver import SpaceSolver
 from repro.core.time_solver import IncrementalTimeSolver, Schedule, TimeSolver
@@ -50,6 +51,7 @@ class MappingStatus(enum.Enum):
 
     SUCCESS = "success"
     NO_SOLUTION = "no_solution"
+    INFEASIBLE = "infeasible"  # an opcode of the DFG is supported by no PE
     TIME_TIMEOUT = "time_timeout"
     SPACE_TIMEOUT = "space_timeout"
     TOTAL_TIMEOUT = "total_timeout"
@@ -108,6 +110,32 @@ class MappingResult:
         return f"{self.status}: {self.message or 'no mapping found'}"
 
 
+def begin_mapping(dfg: DFG, cgra: CGRA) -> Tuple[int, int, int,
+                                                 Optional[MappingResult]]:
+    """Shared prologue of both mapping engines.
+
+    Runs the op-compatibility feasibility gate and computes the op-aware
+    ``(ResII, RecII, mII)`` triple. Returns ``(res_ii, rec_ii, mii,
+    infeasible_result)`` where the last item is a ready-made INFEASIBLE
+    :class:`MappingResult` (caller stamps ``total_seconds``) or ``None``
+    when the kernel fits the fabric.
+    """
+    feasibility = analyze_feasibility(dfg, cgra)
+    resource_ii = max(res_ii(dfg, cgra.num_pes), feasibility.op_res_ii)
+    recurrence_ii = rec_ii(dfg)
+    mii = max(resource_ii, recurrence_ii)
+    infeasible = None
+    if not feasibility.feasible:
+        infeasible = MappingResult(
+            status=MappingStatus.INFEASIBLE,
+            mii=mii,
+            res_ii=resource_ii,
+            rec_ii=recurrence_ii,
+            message=feasibility.message(),
+        )
+    return resource_ii, recurrence_ii, mii, infeasible
+
+
 class MonomorphismMapper:
     """Maps DFGs onto a CGRA by decoupling the time and space dimensions."""
 
@@ -128,9 +156,10 @@ class MonomorphismMapper:
         """Map ``dfg`` onto the CGRA; never raises for ordinary failures."""
         dfg.validate()
         start = time.monotonic()
-        resource_ii = res_ii(dfg, self.cgra.num_pes)
-        recurrence_ii = rec_ii(dfg)
-        mii = max(resource_ii, recurrence_ii)
+        resource_ii, recurrence_ii, mii, infeasible = begin_mapping(dfg, self.cgra)
+        if infeasible is not None:
+            infeasible.total_seconds = time.monotonic() - start
+            return infeasible
         max_ii = self._max_ii(dfg, mii)
 
         result = MappingResult(

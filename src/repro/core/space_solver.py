@@ -27,32 +27,57 @@ from repro.matching.monomorphism import (
 
 
 class MRRGTarget:
-    """Adapter exposing an :class:`~repro.arch.mrrg.MRRG` to the matcher."""
+    """Adapter exposing an :class:`~repro.arch.mrrg.MRRG` to the matcher.
+
+    Pattern labels are ``(slot, opcode)`` pairs (see :func:`build_pattern`):
+    the slot half carries the paper's ``l_G``/``l_M`` label-preservation
+    property, the opcode half restricts candidates to op-compatible MRRG
+    vertices on heterogeneous fabrics. On a homogeneous array every PE is
+    compatible and the opcode half is inert.
+    """
 
     def __init__(self, mrrg: MRRG, pin_first_placement: bool = True) -> None:
         self.mrrg = mrrg
         self.pin_first_placement = pin_first_placement
+        self._homogeneous = mrrg.cgra.is_homogeneous
+
+    @staticmethod
+    def _split(label: Hashable):
+        """Split a ``(slot, opcode)`` label; plain slot labels still work."""
+        if isinstance(label, tuple):
+            return int(label[0]), label[1]
+        return int(label), None
 
     # -- TargetGraph protocol ------------------------------------------- #
     def candidates(self, label: Hashable) -> Iterable[int]:
-        return self.mrrg.vertices_with_label(int(label))
+        slot, opcode = self._split(label)
+        if self._homogeneous or opcode is None:
+            return self.mrrg.vertices_with_label(slot)
+        return self.mrrg.compatible_vertices(slot, opcode)
 
     def seed_candidates(self, label: Hashable) -> Iterable[int]:
         """Candidates for the first placed node.
 
-        A torus CGRA is vertex-transitive inside a time step, so the first
-        node can be pinned to PE 0 of its slot without losing completeness;
-        on other topologies all PEs are returned.
+        A *homogeneous* torus CGRA is vertex-transitive inside a time step,
+        so the first node can be pinned to PE 0 of its slot without losing
+        completeness. Heterogeneity breaks the symmetry (translating a
+        mapping can move some op onto a PE that does not support it), so
+        the pin only applies to homogeneous tori.
         """
-        if self.pin_first_placement and self.mrrg.cgra.topology is Topology.TORUS:
-            return [self.mrrg.vertex(0, int(label))]
+        if (
+            self.pin_first_placement
+            and self._homogeneous
+            and self.mrrg.cgra.topology is Topology.TORUS
+        ):
+            slot, _opcode = self._split(label)
+            return [self.mrrg.vertex(0, slot)]
         return self.candidates(label)
 
     def are_adjacent(self, a: int, b: int) -> bool:
         return self.mrrg.has_edge(a, b)
 
     def neighbors_with_label(self, vertex: int, label: Hashable) -> Iterable[int]:
-        slot = int(label)
+        slot, opcode = self._split(label)
         mrrg = self.mrrg
         if mrrg.time_adjacency is TimeAdjacency.CONSECUTIVE:
             diff = (mrrg.slot_of(vertex) - slot) % mrrg.ii
@@ -60,9 +85,12 @@ class MRRGTarget:
                 return []
         base = slot * mrrg.cgra.num_pes
         pe = mrrg.pe_of(vertex)
+        reachable = mrrg.cgra.neighbors_or_self(pe)
+        if not self._homogeneous and opcode is not None:
+            reachable = reachable & mrrg.cgra.supporting_pes(opcode)
         return [
             base + other_pe
-            for other_pe in mrrg.cgra.neighbors_or_self(pe)
+            for other_pe in reachable
             if base + other_pe != vertex
         ]
 
@@ -86,8 +114,17 @@ class SpaceResult:
 
 
 def build_pattern(schedule: Schedule) -> PatternGraph:
-    """The slot-labelled undirected DFG the monomorphism search runs on."""
-    labels = {node_id: schedule.slot(node_id) for node_id in schedule.start_times}
+    """The labelled undirected DFG the monomorphism search runs on.
+
+    Each node is labelled ``(kernel slot, opcode)``: the slot drives the
+    paper's label-preservation property, the opcode lets
+    :class:`MRRGTarget` restrict candidates to op-compatible PEs on
+    heterogeneous fabrics.
+    """
+    labels = {
+        node_id: (schedule.slot(node_id), schedule.dfg.node(node_id).opcode)
+        for node_id in schedule.start_times
+    }
     edges = schedule.dfg.undirected_edges()
     return PatternGraph.from_edges(labels, edges)
 

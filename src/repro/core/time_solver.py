@@ -25,6 +25,7 @@ from typing import Dict, Iterator, List, Optional, Set
 from repro.arch.cgra import CGRA
 from repro.core.config import MapperConfig
 from repro.core.exceptions import PhaseTimeoutError
+from repro.core.feasibility import analyze_feasibility
 from repro.graphs.analysis import (
     MobilitySchedule,
     critical_path_length,
@@ -113,6 +114,23 @@ class Schedule:
         return f"Schedule(ii={self.ii}, length={self.length}, nodes={len(self.start_times)})"
 
 
+def _restricted_capacity_groups(dfg: DFG, cgra: CGRA) -> List[tuple]:
+    """Support classes that can overflow a kernel slot on this fabric.
+
+    Nodes are grouped by the exact set of PEs able to execute their opcode;
+    a group competing for ``k < num_pes`` PEs admits at most ``k`` of its
+    nodes per slot. Groups that cannot violate that bound (or span the
+    whole array, which the global capacity constraint already covers) are
+    dropped. Empty on homogeneous fabrics.
+    """
+    report = analyze_feasibility(dfg, cgra)
+    return [
+        (sorted(nodes), len(supporting))
+        for supporting, nodes in report.restricted_classes.items()
+        if len(nodes) > len(supporting)
+    ]
+
+
 class TimeSolver:
     """Builds and solves the time-phase formulation for one ``II``."""
 
@@ -180,16 +198,26 @@ class TimeSolver:
                 self.problem.add_ge(dst_var, src_var, latency - edge.distance * self.ii)
 
     def _add_capacity_constraints(self) -> None:
-        """Sec. IV-B2: at most ``|V_Mi|`` operations per kernel slot."""
+        """Sec. IV-B2: at most ``|V_Mi|`` operations per kernel slot.
+
+        On heterogeneous fabrics each restricted support class additionally
+        admits at most as many operations per slot as it has compatible PEs.
+        """
         capacity = self.cgra.num_pes
-        if self.dfg.num_nodes <= capacity:
-            return  # cannot be violated on arrays larger than the DFG
-        for slot in range(self.ii):
-            indicators = []
-            for node_id, var in self._time_vars.items():
-                literal = self.problem.mod_indicator(var, self.ii, slot)
-                indicators.append(literal)
-            self.problem.at_most(indicators, capacity)
+        if self.dfg.num_nodes > capacity:
+            for slot in range(self.ii):
+                indicators = []
+                for node_id, var in self._time_vars.items():
+                    literal = self.problem.mod_indicator(var, self.ii, slot)
+                    indicators.append(literal)
+                self.problem.at_most(indicators, capacity)
+        for nodes, bound in _restricted_capacity_groups(self.dfg, self.cgra):
+            for slot in range(self.ii):
+                indicators = [
+                    self.problem.mod_indicator(self._time_vars[n], self.ii, slot)
+                    for n in nodes
+                ]
+                self.problem.at_most(indicators, bound)
 
     def _add_connectivity_constraints(self) -> None:
         """Sec. IV-B3: at most ``D_M`` neighbours of a node per slot."""
@@ -320,6 +348,7 @@ class IncrementalTimeSolver:
         self._needed_slack = max(
             0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg)
         )
+        self._capacity_groups = _restricted_capacity_groups(dfg, cgra)
         self._rebuilds = 0
         self._encode(
             max(self.config.slack, self._needed_slack) + self.HORIZON_HEADROOM
@@ -387,16 +416,22 @@ class IncrementalTimeSolver:
             self._add_connectivity(ii)
 
     def _add_capacity(self, ii: int) -> None:
-        """Sec. IV-B2, guarded by the II selector."""
+        """Sec. IV-B2 plus per-support-class bounds, inside the II scope."""
         capacity = self.cgra.num_pes
-        if self.dfg.num_nodes <= capacity:
-            return
-        for slot in range(ii):
-            indicators = [
-                self.problem.mod_indicator(var, ii, slot)
-                for var in self._time_vars.values()
-            ]
-            self.problem.at_most(indicators, capacity)
+        if self.dfg.num_nodes > capacity:
+            for slot in range(ii):
+                indicators = [
+                    self.problem.mod_indicator(var, ii, slot)
+                    for var in self._time_vars.values()
+                ]
+                self.problem.at_most(indicators, capacity)
+        for nodes, bound in self._capacity_groups:
+            for slot in range(ii):
+                indicators = [
+                    self.problem.mod_indicator(self._time_vars[n], ii, slot)
+                    for n in nodes
+                ]
+                self.problem.at_most(indicators, bound)
 
     def _add_connectivity(self, ii: int) -> None:
         """Sec. IV-B3, guarded by the II selector."""

@@ -7,6 +7,9 @@ Checks everything the paper requires of a valid space-time mapping:
   (true by construction here, but re-derived from the MRRG labelling);
 * **mono3** -- every dependence connects PEs that can exchange data through
   the interconnect (adjacent or identical PEs);
+* **operation support** -- every node runs on a PE whose ALU implements its
+  opcode (bites on heterogeneous fabrics; trivially true on homogeneous
+  arrays);
 * **dependence timing** -- every (possibly loop-carried) dependence produces
   its value before it is consumed;
 * **capacity / connectivity** -- the Sec. IV-B2/3 bounds, which must hold for
@@ -65,6 +68,17 @@ def _check_adjacency(mapping: Mapping, violations: List[str]) -> None:
             )
 
 
+def _check_op_support(mapping: Mapping, violations: List[str]) -> None:
+    cgra = mapping.cgra
+    for node in mapping.dfg.nodes():
+        pe_index = mapping.pe(node.id)
+        if not cgra.pe(pe_index).supports(node.opcode):
+            violations.append(
+                f"op-support: node {node.id} ({node.opcode}) mapped to "
+                f"PE {pe_index}, which does not implement that opcode"
+            )
+
+
 def _check_dependence_timing(mapping: Mapping, violations: List[str]) -> None:
     schedule = mapping.schedule
     for violation in schedule.validate_dependences():
@@ -119,6 +133,7 @@ def validate_mapping(mapping: Mapping, check_registers: bool = False) -> List[st
     _check_injectivity(mapping, violations)
     _check_labels(mapping, violations)
     _check_adjacency(mapping, violations)
+    _check_op_support(mapping, violations)
     _check_dependence_timing(mapping, violations)
     _check_capacity(mapping, violations)
     _check_connectivity(mapping, violations)

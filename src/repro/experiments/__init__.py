@@ -11,6 +11,9 @@ Every table and figure of the paper's evaluation section has a driver here:
   for the ``aes`` benchmark).
 * Design ablations (not a paper exhibit, but the design choices of
   Sec. IV-B/IV-C) -- :mod:`repro.experiments.ablation`.
+* Architecture-scenario sweep (beyond the paper: II across heterogeneous
+  fabrics described by :mod:`repro.arch.spec`) --
+  :mod:`repro.experiments.arch_sweep`.
 
 The drivers print ASCII tables/figures, can emit CSV, and are callable both
 as modules (``python -m repro.experiments.table3``) and from the benchmark
@@ -26,9 +29,11 @@ from repro.experiments.batch import (
     build_cases,
     results_by_case,
 )
+from repro.experiments.arch_sweep import build_arch_cases
 from repro.experiments.runner import (
     CaseResult,
     build_cgra,
+    build_cgra_from_arch,
     run_case,
     run_decoupled_case,
     run_baseline_case,
@@ -40,8 +45,10 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "CaseResult",
+    "build_arch_cases",
     "build_cases",
     "build_cgra",
+    "build_cgra_from_arch",
     "results_by_case",
     "run_case",
     "run_decoupled_case",

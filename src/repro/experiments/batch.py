@@ -17,10 +17,11 @@ provides :class:`BatchRunner`, the engine behind ``repro-map sweep`` and the
   only cases racing their wall-clock timeout can differ between runs,
   which is true of any timeout-bounded experiment, serial or not);
 * a JSONL result cache keyed by a hash of the case configuration
-  (benchmark, size, approach, timeout -- extend :meth:`BatchCase.cache_key`
-  before plumbing any further mapper knob through a case, or stale
-  entries will be served across configurations), so re-runs skip
-  already-solved cases and interrupted sweeps resume for free;
+  (benchmark, size, approach, timeout, architecture -- extend
+  :meth:`BatchCase.cache_key` before plumbing any further mapper knob
+  through a case, or stale entries will be served across
+  configurations), so re-runs skip already-solved cases and interrupted
+  sweeps resume for free;
 * progress reporting through a pluggable callback.
 """
 
@@ -48,31 +49,45 @@ ERROR_STATUS = "error"
 
 @dataclass(frozen=True)
 class BatchCase:
-    """One (benchmark, CGRA size, approach) work item."""
+    """One (benchmark, CGRA size, approach, architecture) work item."""
 
     benchmark: str
     size: str
     approach: str
     timeout_seconds: float = 60.0
+    #: architecture preset name or arch-spec JSON path; ``None`` is the
+    #: paper's homogeneous torus at ``size``
+    arch: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "approach", normalize_approach(self.approach))
 
     def cache_key(self) -> str:
-        """Stable digest of everything that determines the result."""
-        payload = json.dumps(
-            {
-                "benchmark": self.benchmark,
-                "size": self.size,
-                "approach": self.approach,
-                "timeout_seconds": self.timeout_seconds,
-            },
-            sort_keys=True,
-        )
+        """Stable digest of everything that determines the result.
+
+        ``arch`` joins the digest only when set, so caches written before
+        the architecture axis existed keep hitting. A spec *file* is keyed
+        by its content hash -- editing the fabric invalidates its entries.
+        """
+        record: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "size": self.size,
+            "approach": self.approach,
+            "timeout_seconds": self.timeout_seconds,
+        }
+        if self.arch is not None:
+            record["arch"] = self.arch
+            if self.arch.endswith(".json") and os.path.exists(self.arch):
+                with open(self.arch, "rb") as handle:
+                    record["arch_sha"] = hashlib.sha256(
+                        handle.read()
+                    ).hexdigest()
+        payload = json.dumps(record, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
     def label(self) -> str:
-        return f"{self.benchmark}/{self.size}/{self.approach}"
+        base = f"{self.benchmark}/{self.size}/{self.approach}"
+        return base if self.arch is None else f"{base}/{self.arch}"
 
 
 @dataclass
@@ -104,7 +119,8 @@ def _worker_main(case_payload: Dict[str, object], connection) -> None:
     try:
         case = BatchCase(**case_payload)
         result = run_case(
-            case.benchmark, case.size, case.approach, case.timeout_seconds
+            case.benchmark, case.size, case.approach, case.timeout_seconds,
+            arch=case.arch,
         )
         connection.send(("ok", dataclasses.asdict(result)))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
@@ -249,6 +265,7 @@ class BatchRunner:
             space_phase_seconds=None,
             total_seconds=elapsed,
             message=message,
+            arch=case.arch,
         )
 
     def run(self, cases: Iterable[BatchCase]) -> BatchReport:
@@ -321,11 +338,12 @@ def build_cases(
     sizes: Sequence[str],
     approaches: Sequence[str],
     timeout_seconds: float,
+    arch: Optional[str] = None,
 ) -> List[BatchCase]:
     """The standard sweep grid, ordered size -> benchmark -> approach."""
     return [
         BatchCase(benchmark=benchmark, size=size, approach=approach,
-                  timeout_seconds=timeout_seconds)
+                  timeout_seconds=timeout_seconds, arch=arch)
         for size in sizes
         for benchmark in benchmarks
         for approach in approaches

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.arch.cgra import CGRA
+from repro.arch.spec import resolve_arch
 from repro.arch.topology import Topology
 from repro.core.config import BaselineConfig, MapperConfig
 from repro.core.mapper import MappingResult, MappingStatus, MonomorphismMapper
@@ -33,6 +34,19 @@ def build_cgra(size: str, topology: Topology = Topology.TORUS) -> CGRA:
     return CGRA(rows, cols, topology=topology)
 
 
+def build_cgra_from_arch(size: str, arch: Optional[str]) -> CGRA:
+    """Build the fabric for one case: plain torus, preset, or spec file.
+
+    ``arch`` is ``None`` (the paper's homogeneous torus at ``size``), a
+    preset name (instantiated at ``size``), or a path to an arch-spec JSON
+    file (whose own dimensions are authoritative).
+    """
+    if arch is None:
+        return build_cgra(size)
+    rows, cols = parse_size(size)
+    return resolve_arch(arch, rows, cols).build()
+
+
 @dataclass
 class CaseResult:
     """One (benchmark, CGRA size, approach) measurement.
@@ -56,6 +70,7 @@ class CaseResult:
     schedules_tried: int = 0
     nodes: int = 0
     message: str = ""
+    arch: Optional[str] = None        # preset name / spec path; None = torus
 
     @property
     def succeeded(self) -> bool:
@@ -69,6 +84,7 @@ class CaseResult:
         approach: str,
         dfg: DFG,
         result: MappingResult,
+        arch: Optional[str] = None,
     ) -> "CaseResult":
         return cls(
             benchmark=benchmark,
@@ -83,6 +99,7 @@ class CaseResult:
             schedules_tried=result.schedules_tried,
             nodes=dfg.num_nodes,
             message=result.message,
+            arch=arch,
         )
 
 
@@ -103,25 +120,31 @@ def baseline_config(timeout_seconds: float) -> BaselineConfig:
 
 
 def run_decoupled_case(
-    benchmark: str, size: str, timeout_seconds: float = 60.0
+    benchmark: str, size: str, timeout_seconds: float = 60.0,
+    arch: Optional[str] = None,
 ) -> CaseResult:
-    """Run the decoupled mapper on one benchmark / CGRA size."""
+    """Run the decoupled mapper on one benchmark / CGRA size / fabric."""
     dfg = load_benchmark(benchmark)
-    cgra = build_cgra(size)
+    cgra = build_cgra_from_arch(size, arch)
     mapper = MonomorphismMapper(cgra, decoupled_config(timeout_seconds))
     result = mapper.map(dfg)
-    return CaseResult.from_mapping_result(benchmark, size, "monomorphism", dfg, result)
+    return CaseResult.from_mapping_result(
+        benchmark, cgra.size_label, "monomorphism", dfg, result, arch=arch
+    )
 
 
 def run_baseline_case(
-    benchmark: str, size: str, timeout_seconds: float = 60.0
+    benchmark: str, size: str, timeout_seconds: float = 60.0,
+    arch: Optional[str] = None,
 ) -> CaseResult:
-    """Run the SAT-MapIt-style baseline on one benchmark / CGRA size."""
+    """Run the SAT-MapIt-style baseline on one benchmark / CGRA size / fabric."""
     dfg = load_benchmark(benchmark)
-    cgra = build_cgra(size)
+    cgra = build_cgra_from_arch(size, arch)
     mapper = SatMapItMapper(cgra, baseline_config(timeout_seconds))
     result = mapper.map(dfg)
-    return CaseResult.from_mapping_result(benchmark, size, "satmapit", dfg, result)
+    return CaseResult.from_mapping_result(
+        benchmark, cgra.size_label, "satmapit", dfg, result, arch=arch
+    )
 
 
 APPROACHES: Dict[str, str] = {
@@ -144,12 +167,13 @@ def normalize_approach(approach: str) -> str:
 
 
 def run_case(
-    benchmark: str, size: str, approach: str, timeout_seconds: float = 60.0
+    benchmark: str, size: str, approach: str, timeout_seconds: float = 60.0,
+    arch: Optional[str] = None,
 ) -> CaseResult:
     """Run one case of either approach (the batch engine's entry point)."""
     if normalize_approach(approach) == "monomorphism":
-        return run_decoupled_case(benchmark, size, timeout_seconds)
-    return run_baseline_case(benchmark, size, timeout_seconds)
+        return run_decoupled_case(benchmark, size, timeout_seconds, arch=arch)
+    return run_baseline_case(benchmark, size, timeout_seconds, arch=arch)
 
 
 def compilation_time_ratio(

@@ -114,6 +114,61 @@ def random_dfg(
     return dfg
 
 
+_BINARY_ALU_OPCODES: Sequence[Opcode] = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.MIN,
+    Opcode.MAX,
+)
+
+
+def executable_random_dfg(
+    num_nodes: int,
+    num_inputs: int = 2,
+    seed: Optional[int] = None,
+    loop_carried: bool = True,
+    opcodes: Optional[Sequence[Opcode]] = None,
+) -> DFG:
+    """A random DFG that is *arity-consistent*, hence executable.
+
+    Unlike :func:`random_dfg` (whose opcodes are decorative), every compute
+    node here is a binary ALU operation with exactly two operands, so the
+    graph runs on both :class:`repro.sim.reference.ReferenceInterpreter`
+    and the cycle-level executor -- the property the differential test
+    harness relies on. ``num_inputs`` INPUT nodes with deterministic values
+    feed the DAG; with ``loop_carried`` the last compute node feeds the
+    first one's second operand across one iteration (an accumulator-style
+    recurrence).
+    """
+    if num_inputs < 1:
+        raise ValueError("need at least 1 input node")
+    if num_nodes < num_inputs + 1:
+        raise ValueError("need at least one compute node")
+    rng = random.Random(seed)
+    pool = tuple(opcodes) if opcodes is not None else _BINARY_ALU_OPCODES
+    dfg = DFG(name=f"executable_random{num_nodes}")
+    for i in range(num_inputs):
+        dfg.add_node(i, Opcode.INPUT, name=f"in{i}", value=rng.randint(-8, 8))
+    first_compute = num_inputs
+    for node_id in range(num_inputs, num_nodes):
+        dfg.add_node(node_id, rng.choice(pool), name=f"e{node_id}",
+                     value=rng.randint(-4, 4))
+        lhs = rng.randrange(0, node_id)
+        dfg.add_data_edge(lhs, node_id, operand_index=0)
+        if loop_carried and node_id == first_compute:
+            continue  # operand 1 arrives through the recurrence below
+        rhs = rng.randrange(0, node_id)
+        dfg.add_data_edge(rhs, node_id, operand_index=1)
+    if loop_carried:
+        dfg.add_loop_carried_edge(num_nodes - 1, first_compute, distance=1,
+                                  operand_index=1)
+    return dfg
+
+
 def layered_dfg(
     layers: Sequence[int],
     seed: Optional[int] = None,

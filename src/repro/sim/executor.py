@@ -8,6 +8,8 @@ epilogue (paper Fig. 2b). During execution the model checks the properties
 that make the mapping *physically* runnable:
 
 * one operation per PE per cycle,
+* every operation runs on a PE whose ALU implements its opcode (bites on
+  heterogeneous fabrics),
 * operands read only from the register file of the producing PE, which must
   be the consumer's own PE or one of its neighbours,
 * the value read is the one of the expected iteration (rotating registers,
@@ -71,7 +73,17 @@ class MappedLoopExecutor:
             self.memory,
             enforce_register_capacity=enforce_register_capacity,
         )
+        self._check_op_support()
         self._declare_missing_arrays()
+
+    def _check_op_support(self) -> None:
+        for node in self.mapping.dfg.nodes():
+            pe_index = self.mapping.pe(node.id)
+            if not self.mapping.cgra.pe(pe_index).supports(node.opcode):
+                raise SimulationError(
+                    f"node {node.id} ({node.opcode}) is mapped to PE "
+                    f"{pe_index}, which does not implement that opcode"
+                )
 
     def _declare_missing_arrays(self) -> None:
         for node in self.mapping.dfg.nodes():

@@ -239,6 +239,19 @@ class FiniteDomainProblem:
         lit = self.value_literal(x, value)
         self.cnf.add_clause([lit])
 
+    def restrict_domain(self, x: IntVar, allowed: Iterable[int]) -> None:
+        """Forbid every value of ``x`` outside ``allowed``.
+
+        Used for structural domain restrictions known up front -- e.g. a
+        placement variable on a heterogeneous CGRA may only take PEs that
+        implement the node's opcode. An empty intersection with the domain
+        makes the problem unsatisfiable (one unit clause per value).
+        """
+        keep = set(allowed)
+        for value in x.domain:
+            if value not in keep:
+                self.add_ne_const(x, value)
+
     def at_most(self, literals: Sequence, bound: int) -> None:
         at_most_k(self.cnf, list(literals), bound)
 

@@ -48,6 +48,31 @@ class TestBatchCase:
         labels = [(c.size, c.benchmark) for c in cases]
         assert labels == [("2x2", "a"), ("2x2", "b"), ("5x5", "a"), ("5x5", "b")]
 
+    def test_cache_key_depends_on_architecture(self, tmp_path):
+        base = BatchCase("aes", "2x2", "mono", 30.0)
+        preset = BatchCase("aes", "2x2", "mono", 30.0,
+                           arch="mul_sparse_checkerboard")
+        assert base.cache_key() != preset.cache_key()
+        assert preset.cache_key() == BatchCase(
+            "aes", "2x2", "mono", 30.0, arch="mul_sparse_checkerboard"
+        ).cache_key()
+        # a spec *file* is keyed by its content: editing it invalidates
+        from repro.arch.spec import build_preset
+
+        path = os.fspath(tmp_path / "fabric.json")
+        build_preset("memory_column_mesh", 2, 2).dump(path)
+        first = BatchCase("aes", "2x2", "mono", 30.0, arch=path).cache_key()
+        build_preset("mul_sparse_checkerboard", 2, 2).dump(path)
+        assert BatchCase("aes", "2x2", "mono", 30.0,
+                         arch=path).cache_key() != first
+
+    def test_arch_in_label_and_grid(self):
+        case = BatchCase("aes", "2x2", "mono", arch="mul_free_torus")
+        assert case.label().endswith("/mul_free_torus")
+        cases = build_cases(["a"], ["2x2"], ["mono"], 10.0,
+                            arch="memory_column_mesh")
+        assert all(c.arch == "memory_column_mesh" for c in cases)
+
 
 class TestBatchRunner:
     def test_parallel_results_match_serial_order_and_values(self):
@@ -75,6 +100,31 @@ class TestBatchRunner:
             [BatchCase("bitcount", "2x2", "monomorphism", 31.0)]
         )
         assert third.executed == 1 and third.cache_hits == 0
+
+    def test_heterogeneous_cases_run_through_the_engine(self):
+        # the architecture axis end to end: same kernel, three fabrics,
+        # including one where it is infeasible
+        cases = [
+            BatchCase("fft", "4x4", "monomorphism", 30.0),
+            BatchCase("fft", "4x4", "monomorphism", 30.0,
+                      arch="mul_sparse_checkerboard"),
+            BatchCase("fft", "4x4", "monomorphism", 30.0,
+                      arch="mul_free_torus"),
+        ]
+        report = BatchRunner(jobs=1).run(cases)
+        homogeneous, checker, mul_free = report.results
+        assert homogeneous.succeeded and checker.succeeded
+        assert checker.arch == "mul_sparse_checkerboard"
+        assert checker.ii >= homogeneous.ii  # restriction cannot help
+        assert mul_free.status == MappingStatus.INFEASIBLE.value
+        assert "supported by no PE" in mul_free.message
+
+    def test_synthetic_results_keep_the_architecture(self):
+        case = BatchCase("aes", "2x2", "mono", 30.0,
+                         arch="mul_sparse_checkerboard")
+        synthetic = BatchRunner._synthetic_result(case, "hard_timeout", 1.0)
+        assert synthetic.arch == "mul_sparse_checkerboard"
+        assert synthetic.status == "hard_timeout"
 
     def test_cache_tolerates_garbage_lines(self, tmp_path):
         path = os.fspath(tmp_path / "cache.jsonl")

@@ -29,10 +29,30 @@ class TestConstruction:
         assert CGRA(3, 3) != CGRA(3, 3, topology=Topology.MESH)
         assert hash(CGRA(2, 2)) == hash(CGRA(2, 2))
 
+    def test_equality_and_hash_include_operation_sets(self):
+        # heterogeneous arrays must not collide as cache/dict keys
+        hetero = CGRA(2, 2, pe_operations={0: [Opcode.ADD, Opcode.CONST]})
+        same = CGRA(2, 2, pe_operations={0: [Opcode.ADD, Opcode.CONST]})
+        assert hetero != CGRA(2, 2)
+        assert hetero == same and hash(hetero) == hash(same)
+        assert CGRA(2, 2) != CGRA(2, 2, operations=[Opcode.ADD])
+        assert len({CGRA(2, 2), hetero, CGRA(2, 2, operations=[Opcode.ADD])}) == 3
+
     def test_restricted_operations(self):
         cgra = CGRA(2, 2, operations=[Opcode.ADD, Opcode.CONST])
         assert cgra.supports_everywhere(Opcode.ADD)
         assert not cgra.supports_everywhere(Opcode.MUL)
+
+    def test_per_pe_operations(self):
+        cgra = CGRA(2, 2, pe_operations={2: [Opcode.ADD]})
+        assert not cgra.is_homogeneous
+        assert cgra.supporting_pes(Opcode.MUL) == frozenset({0, 1, 3})
+        assert cgra.supporting_pes(Opcode.ADD) == frozenset({0, 1, 2, 3})
+        assert cgra.supports(0, Opcode.MUL) and not cgra.supports(2, Opcode.MUL)
+
+    def test_pe_operations_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            CGRA(2, 2, pe_operations={4: [Opcode.ADD]})
 
 
 class TestIndexing:

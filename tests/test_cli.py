@@ -70,6 +70,85 @@ class TestMapCommand:
                      "--timeout", "0.0"])
         assert code == 1
 
+    def test_map_with_heterogeneous_preset(self, capsys):
+        code = main(["map", "--benchmark", "bitcount", "--cgra", "4x4",
+                     "--arch", "mul_sparse_checkerboard", "--timeout", "30"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "heterogeneous" in output
+
+    def test_map_infeasible_fabric_reports_cleanly(self, capsys):
+        # fft contains muls; the mul-free fabric must report infeasible,
+        # not crash, and exit non-zero
+        code = main(["map", "--benchmark", "fft", "--cgra", "4x4",
+                     "--arch", "mul_free_torus", "--timeout", "30"])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "infeasible" in output
+        assert "supported by no PE" in output
+
+    def test_map_with_arch_spec_file(self, capsys, tmp_path):
+        from repro.arch.spec import build_preset
+
+        path = tmp_path / "fabric.json"
+        build_preset("mul_sparse_checkerboard", 3, 3).dump(str(path))
+        code = main(["map", "--benchmark", "bitcount", "--cgra", "9x9",
+                     "--arch", str(path), "--timeout", "30"])
+        assert code == 0
+        # the spec file's own size wins over --cgra
+        assert "3x3 CGRA" in capsys.readouterr().out
+
+
+class TestArchCommand:
+    def test_arch_list(self, capsys):
+        assert main(["arch", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("homogeneous_torus", "memory_column_mesh",
+                     "mul_sparse_checkerboard", "mul_free_torus"):
+            assert name in output
+
+    def test_arch_show(self, capsys):
+        assert main(["arch", "show", "memory_column_mesh",
+                     "--size", "3x3"]) == 0
+        output = capsys.readouterr().out
+        assert "memory_column_mesh" in output and "mesh" in output
+
+    def test_arch_dump_round_trips(self, capsys, tmp_path):
+        from repro.arch.spec import ArchSpec, build_preset
+
+        out = tmp_path / "fabric.json"
+        code = main(["arch", "dump", "mul_sparse_checkerboard",
+                     "--size", "4x4", "--out", str(out)])
+        assert code == 0
+        loaded = ArchSpec.load(str(out))
+        assert loaded == build_preset("mul_sparse_checkerboard", 4, 4)
+
+    def test_arch_dump_to_stdout(self, capsys):
+        assert main(["arch", "dump", "homogeneous_torus"]) == 0
+        assert '"topology": "torus"' in capsys.readouterr().out
+
+    def test_arch_show_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            main(["arch", "show", "nonexistent_preset"])
+
+    def test_sweep_rejects_unknown_arch_before_spawning_workers(self):
+        with pytest.raises(ValueError):
+            main(["sweep", "--benchmarks", "bitcount", "--sizes", "2x2",
+                  "--arch", "mul_sparse_checkerbord", "--quiet"])  # typo
+
+    def test_sweep_spec_file_collapses_sizes(self, capsys, tmp_path):
+        from repro.arch.spec import build_preset
+
+        path = tmp_path / "fabric.json"
+        build_preset("mul_sparse_checkerboard", 2, 2).dump(str(path))
+        code = main(["sweep", "--benchmarks", "bitcount",
+                     "--sizes", "2x2", "5x5", "--arch", str(path),
+                     "--timeout", "30", "--quiet"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "--sizes ignored" in output
+        assert "1 case(s)" in output  # not one per requested size
+
 
 class TestExperimentSubcommands:
     def test_table1(self, capsys):

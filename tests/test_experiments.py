@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import ablation, fig5, table1_table2, table3
+from repro.experiments import ablation, arch_sweep, fig5, table1_table2, table3
 from repro.experiments.paper_data import (
     PAPER_AVERAGE_CTR,
     PAPER_FIG5_AES,
@@ -123,6 +123,44 @@ class TestFig5Driver:
                           "--timeout", "30", "--no-baseline"])
         assert code == 0
         assert "Fig. 5" in capsys.readouterr().out
+
+
+class TestArchSweepDriver:
+    def test_build_arch_cases_grid(self):
+        cases = arch_sweep.build_arch_cases(
+            ["bitcount", "susan"], "3x3",
+            ["homogeneous_torus", "mul_free_torus"], 20.0,
+        )
+        assert len(cases) == 4
+        assert [(c.benchmark, c.arch) for c in cases] == [
+            ("bitcount", "homogeneous_torus"),
+            ("bitcount", "mul_free_torus"),
+            ("susan", "homogeneous_torus"),
+            ("susan", "mul_free_torus"),
+        ]
+        assert all(c.size == "3x3" for c in cases)
+
+    def test_main_compares_fabrics(self, capsys):
+        code = arch_sweep.main([
+            "--benchmarks", "fft", "--size", "4x4",
+            "--archs", "homogeneous_torus", "mul_free_torus",
+            "--timeout", "30", "--quiet",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "II per fabric" in output
+        # fft needs muls: feasible on the torus, infeasible mul-free
+        assert "infeasible" in output
+
+    def test_main_rejects_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            arch_sweep.main(["--benchmarks", "not_a_benchmark", "--quiet"])
+
+    def test_main_rejects_unknown_arch_before_spawning_workers(self):
+        with pytest.raises(ValueError):
+            arch_sweep.main(["--benchmarks", "bitcount",
+                             "--archs", "mul_sparse_checkerbord",  # typo
+                             "--quiet"])
 
 
 class TestAblationDriver:

@@ -37,6 +37,19 @@ class TestSolving:
         problem.add_eq_const(x, 2)
         assert problem.solve() is None
 
+    def test_restrict_domain(self):
+        problem = FiniteDomainProblem()
+        x = problem.new_int("x", 0, 7)
+        problem.restrict_domain(x, {1, 4, 6})
+        seen = {s.value(x) for s in problem.enumerate_solutions(block_on=[x])}
+        assert seen == {1, 4, 6}
+
+    def test_restrict_domain_to_nothing_is_unsat(self):
+        problem = FiniteDomainProblem()
+        x = problem.new_int("x", 0, 3)
+        problem.restrict_domain(x, {9, 10})  # disjoint from the domain
+        assert problem.solve() is None
+
     def test_difference_constraint(self):
         problem = FiniteDomainProblem()
         x = problem.new_int("x", 0, 10)

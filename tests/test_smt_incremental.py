@@ -212,6 +212,125 @@ class TestPushPop:
             assert solver.solve().status == baseline_status
 
 
+class TestPushPopStateInvariants:
+    """push()/pop() must restore clause *and* variable state exactly."""
+
+    def test_solver_clause_and_variable_state_restored_exactly(self):
+        # Literal order inside a clause is internal (watched-literal swaps
+        # reorder in place), so clauses compare as sorted literal lists.
+        for seed in range(10):
+            solver = SATSolver.from_cnf(_random_cnf(6, 12, seed))
+            clauses_before = [sorted(c) for c in solver.clauses]
+            vars_before = solver.num_vars
+            solver.push()
+            fresh = [solver.new_var() for _ in range(3)]
+            solver.add_clause(fresh)
+            solver.add_clause([-fresh[0], fresh[1]])
+            solver.solve()  # may learn clauses inside the scope
+            solver.pop()
+            assert solver.num_vars == vars_before
+            assert [sorted(c) for c in solver.clauses] == clauses_before
+
+    def test_nested_scopes_unwind_in_order(self):
+        solver = SATSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        snapshots = []
+        for _ in range(3):
+            snapshots.append((solver.num_vars, len(solver.clauses)))
+            solver.push()
+            b = solver.new_var()
+            solver.add_clause([-a, b])
+        for expected in reversed(snapshots):
+            solver.pop()
+            assert (solver.num_vars, len(solver.clauses)) == expected
+
+    def test_finite_domain_problem_state_restored_exactly(self):
+        problem = FiniteDomainProblem()
+        x = problem.new_int("x", 0, 4)
+        problem.add_ge(x, x, 0)
+        vars_before = problem.num_sat_variables
+        clauses_before = problem.num_sat_clauses
+        int_vars_before = [v.name for v in problem.variables()]
+        problem.push()
+        y = problem.new_int("y", 0, 7)
+        problem.add_ge(y, x, 1)
+        problem.mod_indicator(y, 3, 1)
+        assert problem.solve() is not None
+        problem.pop()
+        assert problem.num_sat_variables == vars_before
+        assert problem.num_sat_clauses == clauses_before
+        assert [v.name for v in problem.variables()] == int_vars_before
+        # the popped variable is genuinely gone: its name is reusable
+        z = problem.new_int("y", 0, 2)
+        assert problem.solve().value(z) in range(3)
+
+
+class TestFailedCoreInvariants:
+    """Cores are assumption subsets and genuinely unsatisfiable."""
+
+    def _assert_core_unsat_when_reasserted(self, cnf: CNF, core) -> None:
+        fresh = SATSolver.from_cnf(cnf)
+        for literal in core:
+            fresh.add_clause([literal])
+        assert fresh.solve().is_unsat
+
+    def test_core_reassertion_is_unsat_randomized(self):
+        rng = random.Random(7)
+        checked = 0
+        for seed in range(60):
+            cnf = _random_cnf(7, 20, seed)
+            solver = SATSolver.from_cnf(cnf)
+            if not solver.solve().is_sat:
+                continue  # plain UNSAT has no core to check
+            variables = rng.sample(range(1, 8), rng.randint(2, 5))
+            assumptions = [v if rng.random() < 0.5 else -v for v in variables]
+            result = solver.solve(assumptions=assumptions)
+            if not result.is_unsat:
+                continue
+            assert result.core is not None
+            assert set(result.core) <= set(assumptions)
+            self._assert_core_unsat_when_reasserted(cnf, result.core)
+            checked += 1
+        assert checked >= 3  # the sweep must actually exercise cores
+
+    def test_core_from_pigeonhole_assumptions(self):
+        # 3 pigeons, 2 holes, hole occupancy exclusive: assuming all three
+        # pigeons places an unsatisfiable subset in the core.
+        cnf = CNF()
+        var = {}
+        for p in range(3):
+            for h in range(2):
+                var[(p, h)] = cnf.new_var()
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        solver = SATSolver.from_cnf(cnf)
+        assumptions = [var[(p, p % 2)] for p in range(3)] + [var[(2, 0)]]
+        result = solver.solve(assumptions=assumptions)
+        assert result.is_unsat
+        assert set(result.core) <= set(assumptions)
+        self._assert_core_unsat_when_reasserted(cnf, result.core)
+        # the solver itself is not poisoned: dropping the assumptions
+        # restores satisfiability
+        assert solver.solve().is_sat
+
+    def test_core_survives_push_pop_cycles(self):
+        solver = SATSolver()
+        a, b, c = (solver.new_var() for _ in range(3))
+        solver.add_clause([-a, -b])
+        solver.push()
+        solver.add_clause([-a, -c])
+        first = solver.solve(assumptions=[a, c])
+        assert first.is_unsat and set(first.core) <= {a, c}
+        solver.pop()
+        # the scoped clause is gone: the same assumptions are SAT again
+        assert solver.solve(assumptions=[a, c]).is_sat
+        second = solver.solve(assumptions=[a, b])
+        assert second.is_unsat and set(second.core) <= {a, b}
+
+
 class TestAgainstBruteForceWithAssumptions:
     @settings(max_examples=40, deadline=None)
     @given(

@@ -29,7 +29,9 @@ class TestSpaceSolver:
         assert pattern.num_vertices == 14
         assert pattern.num_edges == len(example_dfg.undirected_edges())
         for node, label in pattern.labels.items():
-            assert label == schedule.slot(node)
+            slot, opcode = label
+            assert slot == schedule.slot(node)
+            assert opcode is example_dfg.node(node).opcode
 
     def test_running_example_space_solution(self, example_mapping):
         assert validate_mapping(example_mapping) == []
