@@ -11,6 +11,8 @@ Pozzi. The package provides:
 * a SAT-MapIt-style coupled baseline (:mod:`repro.baseline`),
 * a loop-kernel front-end that extracts DFGs from source text
   (:mod:`repro.frontend`),
+* a pre-mapping DFG optimization middle-end with verified pass pipelines
+  (:mod:`repro.opt`),
 * the paper's benchmark workloads (:mod:`repro.workloads`),
 * cycle-level simulators validating mappings end-to-end (:mod:`repro.sim`),
 * experiment drivers regenerating every table and figure
@@ -48,6 +50,7 @@ from repro.core import (
     validate_mapping,
 )
 from repro.graphs import DFG, DependenceKind, min_ii, rec_ii, res_ii
+from repro.opt import OptResult, PassManager, optimize_dfg, pass_names
 from repro.workloads import load_benchmark, benchmark_names, running_example_dfg
 
 __version__ = "1.0.0"
@@ -75,6 +78,10 @@ __all__ = [
     "min_ii",
     "rec_ii",
     "res_ii",
+    "OptResult",
+    "PassManager",
+    "optimize_dfg",
+    "pass_names",
     "load_benchmark",
     "benchmark_names",
     "running_example_dfg",

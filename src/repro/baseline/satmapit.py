@@ -38,7 +38,12 @@ from typing import Dict, List, Optional
 
 from repro.arch.cgra import CGRA
 from repro.core.config import BaselineConfig
-from repro.core.mapper import MappingResult, MappingStatus, begin_mapping
+from repro.core.mapper import (
+    MappingResult,
+    MappingStatus,
+    begin_mapping,
+    run_pre_mapping_opt,
+)
 from repro.core.mapping import Mapping
 from repro.core.time_solver import Schedule
 from repro.core.validation import assert_valid_mapping
@@ -239,9 +244,15 @@ class SatMapItMapper:
         budget = self.config.timeout_seconds
         deadline = start + budget if budget is not None else None
 
+        # pre-mapping optimization shrinks the coupled encoding just like
+        # the decoupled one: fewer nodes means fewer nodes x II x PEs vars
+        dfg, opt_result = run_pre_mapping_opt(dfg, self.cgra, self.config)
         resource_ii, recurrence_ii, mii, infeasible = begin_mapping(dfg, self.cgra)
         if infeasible is not None:
             infeasible.total_seconds = time.monotonic() - start
+            infeasible.opt = opt_result
+            if opt_result is not None:
+                infeasible.opt_seconds = opt_result.seconds
             return infeasible
         max_ii = self._max_ii(dfg, mii)
         result = MappingResult(
@@ -249,6 +260,8 @@ class SatMapItMapper:
             mii=mii,
             res_ii=resource_ii,
             rec_ii=recurrence_ii,
+            opt=opt_result,
+            opt_seconds=opt_result.seconds if opt_result is not None else 0.0,
         )
 
         max_slack = max(self.config.slack_candidates(), default=self.config.slack)

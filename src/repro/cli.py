@@ -2,9 +2,10 @@
 
 Subcommands::
 
-    repro-map list                         # available benchmarks / kernels
+    repro-map list                         # benchmarks, kernels, fabrics
     repro-map map --benchmark crc32 --cgra 4x4
     repro-map map --benchmark fft --arch memory_column_mesh --cgra 4x4
+    repro-map map --benchmark aes --cgra 4x4 --opt-level O2
     repro-map map --kernel-example dot_product --cgra 5x5 --simulate
     repro-map map --kernel-file my_loop.k --cgra 8x8 --json mapping.json
     repro-map arch list                    # architecture presets
@@ -17,38 +18,67 @@ Subcommands::
     repro-map sweep --sizes 2x2 5x5 --jobs 4 --cache results.jsonl
                                            # parallel batch over the suite
     repro-map sweep --arch mul_sparse_checkerboard --sizes 4x4
+    repro-map sweep --opt-level O2 --sizes 4x4
     repro-map archsweep --benchmarks bitcount --size 4x4
                                            # II across fabrics
+    repro-map optsweep --benchmarks aes crc32 --size 4x4
+                                           # II / compile time across O0..O2
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.arch.spec import ArchSpec, preset_names, resolve_arch
 from repro.baseline.satmapit import SatMapItMapper
 from repro.core.config import BaselineConfig, MapperConfig
 from repro.core.mapper import MonomorphismMapper
-from repro.experiments import ablation, arch_sweep, fig5, table1_table2, table3
+from repro.experiments import (
+    ablation,
+    arch_sweep,
+    fig5,
+    opt_sweep,
+    table1_table2,
+    table3,
+)
 from repro.experiments.batch import BatchRunner, build_cases
 from repro.experiments.runner import build_cgra_from_arch, parse_size
 from repro.frontend import EXAMPLE_KERNELS, extract_dfg
+from repro.opt.pipeline import MAX_OPT_LEVEL, pass_names
 from repro.reporting.tables import Table, format_seconds
 from repro.sim.executor import run_and_compare
 from repro.sim.machine import DataMemory
 from repro.workloads.suite import benchmark_names, load_benchmark, spec
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    print("Table III benchmarks (synthetic stand-ins, see DESIGN.md):")
+def _catalog() -> Iterator[Tuple[str, str, str]]:
+    """Everything mappable or targetable, as (kind, name, details) rows."""
     for name in benchmark_names():
-        print(f"  {name}")
-    print("\nFront-end example kernels:")
+        entry = spec(name)
+        yield ("benchmark", name,
+               f"{entry.suite}, {entry.num_nodes} nodes, "
+               f"RecII {entry.rec_ii}")
+    yield ("benchmark", "running_example", "paper Fig. 2 DFG")
     for name in sorted(EXAMPLE_KERNELS):
-        print(f"  {name}")
-    print("\nOther DFGs: running_example (paper Fig. 2)")
+        yield ("kernel", name, "front-end source (--kernel-example)")
+    for name in preset_names():
+        yield ("arch preset", name, "size-parametric fabric (--arch)")
+    for name in pass_names():
+        yield ("opt pass", name, "pre-mapping DFG pass (--passes)")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    table = Table(
+        headers=["Kind", "Name", "Details"],
+        title="Benchmarks, kernels, fabrics and passes known to repro-map",
+    )
+    for kind, name, details in _catalog():
+        table.add_row(kind, name, details)
+    print(table.render())
+    print("\n`--arch` also accepts a path to an arch-spec JSON file; "
+          f"`--opt-level` accepts O0..O{MAX_OPT_LEVEL}.")
     return 0
 
 
@@ -72,10 +102,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
     print(f"Mapping {dfg.name!r} ({dfg.num_nodes} nodes, {dfg.num_edges} edges) "
           f"onto a {cgra.size_label} CGRA ({cgra.topology}{fabric})")
 
+    opt_passes = tuple(args.passes) if args.passes else None
     if args.baseline:
         mapper = SatMapItMapper(
             cgra, BaselineConfig(timeout_seconds=args.timeout,
-                                 total_timeout_seconds=args.timeout)
+                                 total_timeout_seconds=args.timeout,
+                                 opt_level=args.opt_level,
+                                 opt_passes=opt_passes)
         )
     else:
         mapper = MonomorphismMapper(
@@ -84,9 +117,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 time_timeout_seconds=args.timeout,
                 space_timeout_seconds=args.timeout,
                 total_timeout_seconds=args.timeout,
+                opt_level=args.opt_level,
+                opt_passes=opt_passes,
             ),
         )
     result = mapper.map(dfg)
+    if result.opt is not None:
+        print(result.opt.summary())
     print(result.summary())
     if not result.success:
         return 1
@@ -101,6 +138,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
     if args.simulate:
         memory = DataMemory()
+        if program is not None and result.opt is not None:
+            # rebind accumulator initial values etc. onto the optimized DFG
+            program = program.remapped(result.opt)
         initial_values = program.initial_values if program is not None else None
         iterations = args.iterations
         run_and_compare(mapping, iterations=iterations, memory=memory,
@@ -164,16 +204,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"note: --arch spec file fixes the array size to "
                   f"{arch_spec.size_label}; --sizes ignored")
     approaches = args.approaches
+    opt_passes = tuple(args.passes) if args.passes else None
     cases = build_cases(benchmarks, sizes, approaches, args.timeout,
-                        arch=args.arch)
+                        arch=args.arch, opt_level=args.opt_level,
+                        opt_passes=opt_passes)
     progress = None if args.quiet else print
     runner = BatchRunner(jobs=args.jobs, cache_path=args.cache,
                          progress=progress)
     report = runner.run(cases)
 
     arch_column = args.arch is not None
+    opt_column = bool(cases and (cases[0].opt_level or cases[0].opt_passes))
     headers = ["Benchmark", "CGRA", "Approach", "Status", "II", "mII",
                "Time", "Space", "Total"]
+    if opt_column:
+        headers.insert(3, "Opt")
     if arch_column:
         headers.insert(2, "Arch")
     table = Table(
@@ -193,6 +238,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             format_seconds(result.space_phase_seconds),
             format_seconds(result.total_seconds),
         ]
+        if opt_column:
+            cells.insert(3, result.opt_passes or f"O{result.opt_level}")
         if arch_column:
             cells.insert(2, result.arch or "-")
         table.add_row(*cells)
@@ -227,6 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "arch list`) or arch-spec JSON path; a "
                                  "spec file's own size wins over --cgra")
     map_parser.add_argument("--timeout", type=float, default=60.0)
+    map_parser.add_argument("--opt-level", default="O0",
+                            help="pre-mapping DFG optimization level "
+                                 f"(O0..O{MAX_OPT_LEVEL}, default O0)")
+    map_parser.add_argument("--passes", nargs="+", default=None,
+                            metavar="PASS",
+                            help="explicit optimization pass list "
+                                 "overriding --opt-level "
+                                 f"(available: {', '.join(pass_names())})")
     map_parser.add_argument("--baseline", action="store_true",
                             help="use the SAT-MapIt-style coupled baseline")
     map_parser.add_argument("--simulate", action="store_true",
@@ -278,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
     archsweep_parser.add_argument("rest", nargs=argparse.REMAINDER)
     archsweep_parser.set_defaults(handler=lambda args: arch_sweep.main(args.rest))
 
+    optsweep_parser = subparsers.add_parser(
+        "optsweep",
+        help="compare II / compile time across optimization levels "
+             "(forwards extra args)")
+    optsweep_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    optsweep_parser.set_defaults(handler=lambda args: opt_sweep.main(args.rest))
+
     sweep_parser = subparsers.add_parser(
         "sweep",
         help="run a (benchmark x size x approach) grid in parallel with "
@@ -296,6 +358,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="architecture preset or arch-spec JSON "
                                    "path applied to every case (default: "
                                    "homogeneous torus)")
+    sweep_parser.add_argument("--opt-level", default="O0",
+                              help="pre-mapping DFG optimization level "
+                                   "applied to every case "
+                                   f"(O0..O{MAX_OPT_LEVEL}, default O0)")
+    sweep_parser.add_argument("--passes", nargs="+", default=None,
+                              metavar="PASS",
+                              help="explicit optimization pass list "
+                                   "overriding --opt-level")
     sweep_parser.add_argument("--timeout", type=float, default=60.0,
                               help="per-case soft timeout in seconds")
     sweep_parser.add_argument("--jobs", type=int, default=1,
@@ -319,7 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # The experiment subcommands own their full option set; forward their
     # arguments untouched instead of fighting argparse.REMAINDER quirks.
     forwarded = {"table3": table3.main, "fig5": fig5.main,
-                 "ablation": ablation.main, "archsweep": arch_sweep.main}
+                 "ablation": ablation.main, "archsweep": arch_sweep.main,
+                 "optsweep": opt_sweep.main}
     if argv and argv[0] in forwarded:
         return forwarded[argv[0]](argv[1:])
     parser = build_parser()

@@ -3,9 +3,28 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 from repro.arch.mrrg import TimeAdjacency
+
+
+def _normalize_opt(config) -> None:
+    """Shared validation of the ``opt_level`` / ``opt_passes`` knobs.
+
+    Imports :mod:`repro.opt` lazily (it pulls in the simulator for
+    verification, which transitively imports this module).
+    """
+    if config.opt_passes is None and config.opt_level in (0, None):
+        config.opt_level = 0
+        return
+    from repro.opt.passes import make_pass
+    from repro.opt.pipeline import parse_opt_level
+
+    config.opt_level = parse_opt_level(config.opt_level)
+    if config.opt_passes is not None:
+        config.opt_passes = tuple(config.opt_passes)
+        for name in config.opt_passes:
+            make_pass(name)  # fail fast on unknown pass names
 
 
 @dataclass
@@ -46,6 +65,15 @@ class MapperConfig:
             enumeration, and activities/phases survive the whole
             mII -> II sweep. Disable to get the paper-literal re-encoding
             behaviour (used as the comparison point by the benches).
+        opt_level: pre-mapping DFG optimization level (``0``/``"O0"`` maps
+            the frontend's graph untouched, the paper's flow; ``1``/``2``
+            run the :mod:`repro.opt` pass pipelines). Every node removed
+            shrinks both the SAT time encoding and the monomorphism space
+            search; shortened recurrences lower RecII and with it mII,
+            which is recomputed on the optimized graph.
+        opt_passes: explicit pass list overriding the level's schedule
+            (the CLI's ``--passes``); names from
+            :func:`repro.opt.passes.pass_names`.
     """
 
     max_ii: Optional[int] = None
@@ -62,6 +90,8 @@ class MapperConfig:
     pin_first_placement: bool = True
     validate: bool = True
     incremental_time: bool = True
+    opt_level: Union[int, str] = 0
+    opt_passes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.slack < 0:
@@ -72,6 +102,7 @@ class MapperConfig:
             raise ValueError("max_time_solutions_per_ii must be >= 1")
         if self.max_ii is not None and self.max_ii < 1:
             raise ValueError("max_ii must be >= 1")
+        _normalize_opt(self)
 
     def slack_candidates(self) -> list:
         """Schedule-horizon extensions tried for one II, in order."""
@@ -81,7 +112,12 @@ class MapperConfig:
 
 @dataclass
 class BaselineConfig:
-    """Knobs of the SAT-MapIt-style coupled baseline."""
+    """Knobs of the SAT-MapIt-style coupled baseline.
+
+    ``opt_level`` / ``opt_passes`` mirror :class:`MapperConfig`: both
+    engines consume the same pre-mapping pipeline, so opt-level sweeps
+    compare like against like.
+    """
 
     max_ii: Optional[int] = None
     slack: int = 0
@@ -90,12 +126,15 @@ class BaselineConfig:
     total_timeout_seconds: Optional[float] = None
     enforce_capacity: bool = True
     validate: bool = True
+    opt_level: Union[int, str] = 0
+    opt_passes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.slack < 0:
             raise ValueError("slack must be non-negative")
         if self.max_extra_slack < 0:
             raise ValueError("max_extra_slack must be non-negative")
+        _normalize_opt(self)
 
     def slack_candidates(self) -> list:
         """Schedule-horizon extensions tried for one II, in order."""

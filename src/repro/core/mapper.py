@@ -32,7 +32,10 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.opt.pipeline import OptResult
 
 from repro.arch.cgra import CGRA
 from repro.core.config import MapperConfig
@@ -72,7 +75,15 @@ class _Outcome(enum.Enum):
 
 @dataclass
 class MappingResult:
-    """Everything the experiments need to know about one mapping attempt."""
+    """Everything the experiments need to know about one mapping attempt.
+
+    When a pre-mapping optimization pipeline ran (``MapperConfig.opt_level``
+    / ``opt_passes``), ``opt`` holds its :class:`~repro.opt.pipeline.OptResult`
+    -- including the node map callers need to translate per-node metadata
+    (e.g. simulation initial values) onto the optimized graph the returned
+    ``mapping`` refers to -- and ``opt_seconds`` the time it took (also part
+    of ``total_seconds``: optimization is compilation time).
+    """
 
     status: MappingStatus
     mapping: Optional[Mapping] = None
@@ -86,6 +97,8 @@ class MappingResult:
     schedules_tried: int = 0
     iis_tried: int = 0
     message: str = ""
+    opt: Optional["OptResult"] = None
+    opt_seconds: float = 0.0
 
     @property
     def success(self) -> bool:
@@ -100,14 +113,50 @@ class MappingResult:
         )
 
     def summary(self) -> str:
+        opt_note = ""
+        if self.opt is not None and self.opt.changed:
+            opt_note = (f", opt {self.opt.nodes_before}->"
+                        f"{self.opt.nodes_after} nodes")
         if self.success:
             return (
                 f"II={self.ii} (mII={self.mii}) in {self.total_seconds:.3f}s "
                 f"(time {self.time_phase_seconds:.3f}s, "
                 f"space {self.space_phase_seconds:.3f}s, "
-                f"{self.schedules_tried} schedule(s) tried)"
+                f"{self.schedules_tried} schedule(s) tried{opt_note})"
             )
-        return f"{self.status}: {self.message or 'no mapping found'}"
+        return (f"{self.status}: {self.message or 'no mapping found'}"
+                f"{opt_note}")
+
+
+def run_pre_mapping_opt(
+    dfg: DFG, cgra: CGRA, config
+) -> Tuple[DFG, Optional["OptResult"]]:
+    """Shared pre-mapping optimization prologue of both engines.
+
+    Runs the configured :mod:`repro.opt` pipeline (no-op at O0 with no
+    explicit pass list) against ``cgra`` as the strength-reduction target.
+    When the engine validates its mappings (``config.validate``) the
+    pipeline is differentially verified pass by pass against the reference
+    interpreter, so an unsound rewrite fails loudly here rather than as a
+    downstream mapping mystery. mII/ResII/RecII are computed afterwards on
+    the returned graph, i.e. post-optimization.
+    """
+    opt_level = getattr(config, "opt_level", 0)
+    opt_passes = getattr(config, "opt_passes", None)
+    if not opt_level and not opt_passes:
+        return dfg, None
+    # imported lazily: repro.opt pulls in the simulator for verification,
+    # which transitively imports this module
+    from repro.opt.pipeline import optimize_dfg
+
+    opt_result = optimize_dfg(
+        dfg,
+        opt_level=opt_level,
+        passes=opt_passes,
+        target=cgra,
+        verify=config.validate,
+    )
+    return opt_result.optimized, opt_result
 
 
 def begin_mapping(dfg: DFG, cgra: CGRA) -> Tuple[int, int, int,
@@ -156,9 +205,13 @@ class MonomorphismMapper:
         """Map ``dfg`` onto the CGRA; never raises for ordinary failures."""
         dfg.validate()
         start = time.monotonic()
+        dfg, opt_result = run_pre_mapping_opt(dfg, self.cgra, self.config)
         resource_ii, recurrence_ii, mii, infeasible = begin_mapping(dfg, self.cgra)
         if infeasible is not None:
             infeasible.total_seconds = time.monotonic() - start
+            infeasible.opt = opt_result
+            if opt_result is not None:
+                infeasible.opt_seconds = opt_result.seconds
             return infeasible
         max_ii = self._max_ii(dfg, mii)
 
@@ -167,6 +220,8 @@ class MonomorphismMapper:
             mii=mii,
             res_ii=resource_ii,
             rec_ii=recurrence_ii,
+            opt=opt_result,
+            opt_seconds=opt_result.seconds if opt_result is not None else 0.0,
         )
         space_timed_out = False
         time_timed_out = False

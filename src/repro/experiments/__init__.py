@@ -14,6 +14,9 @@ Every table and figure of the paper's evaluation section has a driver here:
 * Architecture-scenario sweep (beyond the paper: II across heterogeneous
   fabrics described by :mod:`repro.arch.spec`) --
   :mod:`repro.experiments.arch_sweep`.
+* Opt-level sweep (beyond the paper: II / compile-time deltas of the
+  :mod:`repro.opt` pre-mapping pass pipelines) --
+  :mod:`repro.experiments.opt_sweep`.
 
 The drivers print ASCII tables/figures, can emit CSV, and are callable both
 as modules (``python -m repro.experiments.table3``) and from the benchmark
@@ -30,6 +33,7 @@ from repro.experiments.batch import (
     results_by_case,
 )
 from repro.experiments.arch_sweep import build_arch_cases
+from repro.experiments.opt_sweep import build_opt_cases
 from repro.experiments.runner import (
     CaseResult,
     build_cgra,
@@ -47,6 +51,7 @@ __all__ = [
     "CaseResult",
     "build_arch_cases",
     "build_cases",
+    "build_opt_cases",
     "build_cgra",
     "build_cgra_from_arch",
     "results_by_case",

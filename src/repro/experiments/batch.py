@@ -17,9 +17,9 @@ provides :class:`BatchRunner`, the engine behind ``repro-map sweep`` and the
   only cases racing their wall-clock timeout can differ between runs,
   which is true of any timeout-bounded experiment, serial or not);
 * a JSONL result cache keyed by a hash of the case configuration
-  (benchmark, size, approach, timeout, architecture -- extend
-  :meth:`BatchCase.cache_key` before plumbing any further mapper knob
-  through a case, or stale entries will be served across
+  (benchmark, size, approach, timeout, architecture, opt level / pass
+  list -- extend :meth:`BatchCase.cache_key` before plumbing any further
+  mapper knob through a case, or stale entries will be served across
   configurations), so re-runs skip already-solved cases and interrupted
   sweeps resume for free;
 * progress reporting through a pluggable callback.
@@ -49,7 +49,7 @@ ERROR_STATUS = "error"
 
 @dataclass(frozen=True)
 class BatchCase:
-    """One (benchmark, CGRA size, approach, architecture) work item."""
+    """One (benchmark, CGRA size, approach, architecture, opt) work item."""
 
     benchmark: str
     size: str
@@ -58,16 +58,31 @@ class BatchCase:
     #: architecture preset name or arch-spec JSON path; ``None`` is the
     #: paper's homogeneous torus at ``size``
     arch: Optional[str] = None
+    #: pre-mapping optimization level (0 = the paper's unoptimized flow)
+    opt_level: int = 0
+    #: explicit pass list overriding the level's schedule, if any
+    opt_passes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "approach", normalize_approach(self.approach))
+        # normalize eagerly so equal configurations always share a cache
+        # key ("O2", "2" and 2 are one configuration, lists become tuples)
+        from repro.opt.pipeline import parse_opt_level
+
+        object.__setattr__(self, "opt_level", parse_opt_level(self.opt_level))
+        if self.opt_passes is not None:
+            object.__setattr__(self, "opt_passes", tuple(self.opt_passes))
 
     def cache_key(self) -> str:
         """Stable digest of everything that determines the result.
 
-        ``arch`` joins the digest only when set, so caches written before
-        the architecture axis existed keep hitting. A spec *file* is keyed
-        by its content hash -- editing the fabric invalidates its entries.
+        Mapper-affecting knobs (``arch``, ``opt_level``, ``opt_passes``)
+        join the digest only when set, so caches written before each axis
+        existed keep hitting -- but any non-default value content-hashes
+        into the key, and a stale entry can never be replayed across
+        configurations. A spec *file* is keyed by its content hash --
+        editing the fabric invalidates its entries. Extend this method
+        before plumbing any further mapper knob through a case.
         """
         record: Dict[str, object] = {
             "benchmark": self.benchmark,
@@ -82,12 +97,22 @@ class BatchCase:
                     record["arch_sha"] = hashlib.sha256(
                         handle.read()
                     ).hexdigest()
+        if self.opt_level:
+            record["opt_level"] = self.opt_level
+        if self.opt_passes:
+            record["opt_passes"] = list(self.opt_passes)
         payload = json.dumps(record, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
     def label(self) -> str:
         base = f"{self.benchmark}/{self.size}/{self.approach}"
-        return base if self.arch is None else f"{base}/{self.arch}"
+        if self.arch is not None:
+            base = f"{base}/{self.arch}"
+        if self.opt_passes:
+            base = f"{base}/passes={','.join(self.opt_passes)}"
+        elif self.opt_level:
+            base = f"{base}/O{self.opt_level}"
+        return base
 
 
 @dataclass
@@ -120,7 +145,8 @@ def _worker_main(case_payload: Dict[str, object], connection) -> None:
         case = BatchCase(**case_payload)
         result = run_case(
             case.benchmark, case.size, case.approach, case.timeout_seconds,
-            arch=case.arch,
+            arch=case.arch, opt_level=case.opt_level,
+            opt_passes=case.opt_passes,
         )
         connection.send(("ok", dataclasses.asdict(result)))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
@@ -266,6 +292,8 @@ class BatchRunner:
             total_seconds=elapsed,
             message=message,
             arch=case.arch,
+            opt_level=case.opt_level,
+            opt_passes=",".join(case.opt_passes) if case.opt_passes else None,
         )
 
     def run(self, cases: Iterable[BatchCase]) -> BatchReport:
@@ -339,11 +367,15 @@ def build_cases(
     approaches: Sequence[str],
     timeout_seconds: float,
     arch: Optional[str] = None,
+    opt_level: int = 0,
+    opt_passes: Optional[Sequence[str]] = None,
 ) -> List[BatchCase]:
     """The standard sweep grid, ordered size -> benchmark -> approach."""
+    passes = tuple(opt_passes) if opt_passes else None
     return [
         BatchCase(benchmark=benchmark, size=size, approach=approach,
-                  timeout_seconds=timeout_seconds, arch=arch)
+                  timeout_seconds=timeout_seconds, arch=arch,
+                  opt_level=opt_level, opt_passes=passes)
         for size in sizes
         for benchmark in benchmarks
         for approach in approaches

@@ -29,6 +29,7 @@ def run_fig5(
     timeout_seconds: float = 60.0,
     run_baseline: bool = True,
     results: Optional[Dict[Tuple[str, str, str], CaseResult]] = None,
+    opt_level: int = 0,
 ) -> Dict[str, object]:
     """Collect the Fig. 5 data points.
 
@@ -43,8 +44,10 @@ def run_fig5(
             if hit is not None:
                 return hit
         if approach == "monomorphism":
-            return run_decoupled_case(name, size, timeout_seconds)
-        return run_baseline_case(name, size, timeout_seconds)
+            return run_decoupled_case(name, size, timeout_seconds,
+                                      opt_level=opt_level)
+        return run_baseline_case(name, size, timeout_seconds,
+                                 opt_level=opt_level)
 
     measured_mono = Series(label="monomorphism (measured)")
     measured_base = Series(label="SAT-MapIt baseline (measured)")
@@ -113,7 +116,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cache", type=str, default=None,
                         help="JSONL result cache shared with 'repro-map "
                              "sweep'")
+    parser.add_argument("--opt-level", default="O0",
+                        help="pre-mapping optimization level for both "
+                             "mappers (O0..O2, default O0)")
     args = parser.parse_args(argv)
+    from repro.opt.pipeline import parse_opt_level
+    opt_level = parse_opt_level(args.opt_level)
 
     results = None
     if args.jobs > 1 or args.cache:
@@ -124,7 +132,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.no_baseline:
             approaches.append("satmapit")
         cases = build_cases([args.benchmark], args.sizes, approaches,
-                            args.timeout)
+                            args.timeout, opt_level=opt_level)
         report = BatchRunner(jobs=max(1, args.jobs),
                              cache_path=args.cache).run(cases)
         results = results_by_case(cases, report)
@@ -136,6 +144,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         timeout_seconds=args.timeout,
         run_baseline=not args.no_baseline,
         results=results,
+        opt_level=opt_level,
     )
     print(fig5_table(data).render())
     print()

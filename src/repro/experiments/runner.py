@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.arch.cgra import CGRA
 from repro.arch.spec import resolve_arch
@@ -71,6 +71,9 @@ class CaseResult:
     nodes: int = 0
     message: str = ""
     arch: Optional[str] = None        # preset name / spec path; None = torus
+    opt_level: int = 0                # pre-mapping optimization level
+    opt_passes: Optional[str] = None  # explicit pass list ("a,b,c"), if any
+    nodes_opt: Optional[int] = None   # node count after optimization
 
     @property
     def succeeded(self) -> bool:
@@ -85,6 +88,8 @@ class CaseResult:
         dfg: DFG,
         result: MappingResult,
         arch: Optional[str] = None,
+        opt_level: int = 0,
+        opt_passes: Optional[Sequence[str]] = None,
     ) -> "CaseResult":
         return cls(
             benchmark=benchmark,
@@ -100,50 +105,74 @@ class CaseResult:
             nodes=dfg.num_nodes,
             message=result.message,
             arch=arch,
+            opt_level=opt_level,
+            opt_passes=",".join(opt_passes) if opt_passes else None,
+            nodes_opt=(result.opt.nodes_after
+                       if result.opt is not None else None),
         )
 
 
-def decoupled_config(timeout_seconds: float) -> MapperConfig:
+def decoupled_config(
+    timeout_seconds: float,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
+) -> MapperConfig:
     """Mapper configuration used by the experiments."""
     return MapperConfig(
         time_timeout_seconds=timeout_seconds,
         space_timeout_seconds=timeout_seconds,
         total_timeout_seconds=timeout_seconds,
+        opt_level=opt_level,
+        opt_passes=tuple(opt_passes) if opt_passes else None,
     )
 
 
-def baseline_config(timeout_seconds: float) -> BaselineConfig:
+def baseline_config(
+    timeout_seconds: float,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
+) -> BaselineConfig:
     return BaselineConfig(
         timeout_seconds=timeout_seconds,
         total_timeout_seconds=timeout_seconds,
+        opt_level=opt_level,
+        opt_passes=tuple(opt_passes) if opt_passes else None,
     )
 
 
 def run_decoupled_case(
     benchmark: str, size: str, timeout_seconds: float = 60.0,
     arch: Optional[str] = None,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
 ) -> CaseResult:
     """Run the decoupled mapper on one benchmark / CGRA size / fabric."""
     dfg = load_benchmark(benchmark)
     cgra = build_cgra_from_arch(size, arch)
-    mapper = MonomorphismMapper(cgra, decoupled_config(timeout_seconds))
+    config = decoupled_config(timeout_seconds, opt_level, opt_passes)
+    mapper = MonomorphismMapper(cgra, config)
     result = mapper.map(dfg)
     return CaseResult.from_mapping_result(
-        benchmark, cgra.size_label, "monomorphism", dfg, result, arch=arch
+        benchmark, cgra.size_label, "monomorphism", dfg, result, arch=arch,
+        opt_level=config.opt_level, opt_passes=opt_passes,
     )
 
 
 def run_baseline_case(
     benchmark: str, size: str, timeout_seconds: float = 60.0,
     arch: Optional[str] = None,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
 ) -> CaseResult:
     """Run the SAT-MapIt-style baseline on one benchmark / CGRA size / fabric."""
     dfg = load_benchmark(benchmark)
     cgra = build_cgra_from_arch(size, arch)
-    mapper = SatMapItMapper(cgra, baseline_config(timeout_seconds))
+    config = baseline_config(timeout_seconds, opt_level, opt_passes)
+    mapper = SatMapItMapper(cgra, config)
     result = mapper.map(dfg)
     return CaseResult.from_mapping_result(
-        benchmark, cgra.size_label, "satmapit", dfg, result, arch=arch
+        benchmark, cgra.size_label, "satmapit", dfg, result, arch=arch,
+        opt_level=config.opt_level, opt_passes=opt_passes,
     )
 
 
@@ -169,11 +198,15 @@ def normalize_approach(approach: str) -> str:
 def run_case(
     benchmark: str, size: str, approach: str, timeout_seconds: float = 60.0,
     arch: Optional[str] = None,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
 ) -> CaseResult:
     """Run one case of either approach (the batch engine's entry point)."""
-    if normalize_approach(approach) == "monomorphism":
-        return run_decoupled_case(benchmark, size, timeout_seconds, arch=arch)
-    return run_baseline_case(benchmark, size, timeout_seconds, arch=arch)
+    runner = (run_decoupled_case
+              if normalize_approach(approach) == "monomorphism"
+              else run_baseline_case)
+    return runner(benchmark, size, timeout_seconds, arch=arch,
+                  opt_level=opt_level, opt_passes=opt_passes)
 
 
 def compilation_time_ratio(

@@ -40,6 +40,7 @@ def run_size_block(
     run_baseline: bool = True,
     verbose: bool = False,
     results: Optional[Dict[Tuple[str, str, str], CaseResult]] = None,
+    opt_level: int = 0,
 ) -> Dict[str, object]:
     """Run one CGRA-size block of Table III and return its data.
 
@@ -54,8 +55,10 @@ def run_size_block(
             if hit is not None:
                 return hit
         if approach == "monomorphism":
-            return run_decoupled_case(name, size, timeout_seconds)
-        return run_baseline_case(name, size, timeout_seconds)
+            return run_decoupled_case(name, size, timeout_seconds,
+                                      opt_level=opt_level)
+        return run_baseline_case(name, size, timeout_seconds,
+                                 opt_level=opt_level)
 
     rows: List[Dict[str, object]] = []
     for name in benchmarks:
@@ -195,11 +198,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cache", type=str, default=None,
                         help="JSONL result cache shared with 'repro-map "
                              "sweep'; solved cases are skipped")
+    parser.add_argument("--opt-level", default="O0",
+                        help="pre-mapping optimization level for both "
+                             "mappers (O0..O2, default O0; the paper's "
+                             "numbers are O0)")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     for name in args.benchmarks:
         spec(name)  # fail early on typos
+    from repro.opt.pipeline import parse_opt_level
+    opt_level = parse_opt_level(args.opt_level)
 
     results = None
     if args.jobs > 1 or args.cache:
@@ -210,7 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.no_baseline:
             approaches.append("satmapit")
         cases = build_cases(args.benchmarks, args.sizes, approaches,
-                            args.timeout)
+                            args.timeout, opt_level=opt_level)
         runner = BatchRunner(
             jobs=max(1, args.jobs),
             cache_path=args.cache,
@@ -228,6 +237,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             run_baseline=not args.no_baseline,
             verbose=args.verbose,
             results=results,
+            opt_level=opt_level,
         )
         table = block_to_table(block)
         print(table.render())

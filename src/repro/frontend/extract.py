@@ -21,7 +21,6 @@ from repro.frontend.ast_nodes import (
     Declaration,
     Expression,
     LoadExpr,
-    Loop,
     NumberLiteral,
     Program,
     StoreStatement,
@@ -93,6 +92,41 @@ class ExtractedProgram:
     induction_node: Optional[int] = None
     trip_count: int = 0
     loop_start: int = 0
+
+    def remapped(self, opt_result) -> "ExtractedProgram":
+        """Rebind this program to an optimized DFG.
+
+        ``opt_result`` is the :class:`repro.opt.pipeline.OptResult` of a
+        pre-mapping pass pipeline run on :attr:`dfg`. Per-node metadata
+        (initial values of loop-carried sources, live-out bindings, the
+        induction node) is translated through its node map so the
+        simulators can execute the optimized graph: the pass legality
+        rules guarantee every loop-carried source survives under its own
+        id, and bindings to erased nodes are dropped.
+        """
+        node_map = opt_result.node_map
+        return ExtractedProgram(
+            program=self.program,
+            dfg=opt_result.optimized,
+            arrays=dict(self.arrays),
+            accumulators=dict(self.accumulators),
+            initial_values={
+                node_map[node_id]: value
+                for node_id, value in self.initial_values.items()
+                if node_map.get(node_id) is not None
+            },
+            outputs={
+                name: node_map[node_id]
+                for name, node_id in self.outputs.items()
+                if node_map.get(node_id) is not None
+            },
+            induction_node=(
+                node_map.get(self.induction_node)
+                if self.induction_node is not None else None
+            ),
+            trip_count=self.trip_count,
+            loop_start=self.loop_start,
+        )
 
 
 class _Extractor:

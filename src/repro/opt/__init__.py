@@ -1,0 +1,89 @@
+"""repro.opt -- the pre-mapping DFG optimization middle-end.
+
+A registry of semantics-preserving DFG-to-DFG passes (constant folding,
+algebraic simplification, strength reduction, common-subexpression
+elimination, dead-node elimination, associativity rebalancing) driven by a
+:class:`~repro.opt.pipeline.PassManager` with ``O0``/``O1``/``O2`` levels.
+Every node the passes remove is a node the SAT time phase and the
+monomorphism space phase never have to encode; every recurrence they
+shorten lowers RecII, and therefore the achievable II, directly.
+
+Pipelines are verified by replaying the optimized graph through the
+sequential reference interpreter against the original
+(:mod:`repro.opt.verify`), the same oracle the differential mapping
+harness uses.
+"""
+
+from repro.opt.passes import (
+    AC_OPCODES,
+    AlgebraicSimplificationPass,
+    CommonSubexpressionEliminationPass,
+    ConstantFoldingPass,
+    DeadNodeEliminationPass,
+    PASS_REGISTRY,
+    Pass,
+    PassContext,
+    ReassociationPass,
+    StrengthReductionPass,
+    make_pass,
+    pass_names,
+)
+from repro.opt.pipeline import (
+    MAX_OPT_LEVEL,
+    OPT_LEVEL_PIPELINES,
+    OptResult,
+    PassManager,
+    PassStat,
+    build_pipeline,
+    opt_level_label,
+    optimize_dfg,
+    parse_opt_level,
+)
+from repro.opt.rewrite import (
+    GraphEdit,
+    NodeMap,
+    compose_maps,
+    identity_map,
+    observable_ids,
+    rebuild,
+)
+from repro.opt.verify import (
+    OptVerificationError,
+    VerificationReport,
+    is_executable,
+    verify_equivalence,
+)
+
+__all__ = [
+    "AC_OPCODES",
+    "AlgebraicSimplificationPass",
+    "CommonSubexpressionEliminationPass",
+    "ConstantFoldingPass",
+    "DeadNodeEliminationPass",
+    "GraphEdit",
+    "MAX_OPT_LEVEL",
+    "NodeMap",
+    "OPT_LEVEL_PIPELINES",
+    "OptResult",
+    "OptVerificationError",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassStat",
+    "ReassociationPass",
+    "StrengthReductionPass",
+    "VerificationReport",
+    "build_pipeline",
+    "compose_maps",
+    "identity_map",
+    "is_executable",
+    "make_pass",
+    "observable_ids",
+    "opt_level_label",
+    "optimize_dfg",
+    "parse_opt_level",
+    "pass_names",
+    "rebuild",
+    "verify_equivalence",
+]

@@ -1,0 +1,160 @@
+"""Structural DFG rewriting shared by every optimization pass.
+
+:class:`~repro.graphs.dfg.DFG` is append-only by design (the mapper never
+mutates graphs), so passes describe their effect as a :func:`rebuild` edit --
+nodes to drop, nodes to forward (all uses rewired to a replacement), in-place
+node overrides, and fresh nodes/edges -- and get back a new graph plus the
+``node_map`` relating old ids to surviving ids.
+
+The ``node_map`` is the correctness contract of the whole pass pipeline:
+for every original node id mapped to a surviving id, the per-iteration value
+of the surviving node must equal the original's (see :mod:`repro.opt.verify`).
+A pass that changes what a node computes must therefore give the rewritten
+node a *fresh* id (dropping the old one from the map), as the reassociation
+pass does for rebalanced tree interiors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.dfg import DFG, DFGEdge, DFGNode
+
+#: ``node_map`` type: original id -> surviving id, or ``None`` when erased.
+NodeMap = Dict[int, Optional[int]]
+
+
+def identity_map(dfg: DFG) -> NodeMap:
+    return {node_id: node_id for node_id in dfg.node_ids()}
+
+
+def compose_maps(first: NodeMap, second: NodeMap) -> NodeMap:
+    """Compose two node maps (``first`` applied before ``second``)."""
+    composed: NodeMap = {}
+    for original, middle in first.items():
+        composed[original] = None if middle is None else second.get(middle)
+    return composed
+
+
+@dataclass
+class GraphEdit:
+    """One batch of structural edits applied atomically by :func:`rebuild`.
+
+    Attributes:
+        drop: node ids removed outright (every edge touching them must be
+            gone after the other edits; :func:`rebuild` checks).
+        forward: node id -> replacement id; every use of the key (data and
+            loop-carried out-edges) is rewired to the resolved replacement
+            and the key is removed. Chains (``a -> b``, ``b -> c``) resolve
+            transitively.
+        overrides: node id -> replacement :class:`DFGNode` carrying the
+            *same* id (opcode/value rewrites such as constant folding).
+        drop_in_edges: node ids whose incoming edges are all discarded
+            (used together with ``overrides``/``extra_edges`` to give a
+            node a new operand list).
+        extra_nodes: fresh nodes to add (ids must not collide).
+        extra_edges: edges to add after everything else.
+    """
+
+    drop: Set[int] = field(default_factory=set)
+    forward: Dict[int, int] = field(default_factory=dict)
+    overrides: Dict[int, DFGNode] = field(default_factory=dict)
+    drop_in_edges: Set[int] = field(default_factory=set)
+    extra_nodes: List[DFGNode] = field(default_factory=list)
+    extra_edges: List[DFGEdge] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.drop or self.forward or self.overrides
+                    or self.drop_in_edges or self.extra_nodes
+                    or self.extra_edges)
+
+
+def _resolve(forward: Dict[int, int], node_id: int) -> int:
+    seen = set()
+    while node_id in forward:
+        if node_id in seen:
+            raise ValueError(f"forwarding cycle through node {node_id}")
+        seen.add(node_id)
+        node_id = forward[node_id]
+    return node_id
+
+
+def rebuild(dfg: DFG, edit: GraphEdit) -> Tuple[DFG, NodeMap]:
+    """Apply ``edit`` to ``dfg``; return the new graph and its node map."""
+    gone: Set[int] = set(edit.drop) | set(edit.forward)
+    node_map: NodeMap = {}
+    for node_id in dfg.node_ids():
+        if node_id in edit.drop:
+            node_map[node_id] = None
+        elif node_id in edit.forward:
+            target = _resolve(edit.forward, node_id)
+            if target in edit.drop:
+                raise ValueError(
+                    f"node {node_id} forwarded to dropped node {target}"
+                )
+            node_map[node_id] = target
+        else:
+            node_map[node_id] = node_id
+
+    result = DFG(dfg.name)
+    for node in dfg.nodes():
+        if node.id in gone:
+            continue
+        replacement = edit.overrides.get(node.id, node)
+        if replacement.id != node.id:
+            raise ValueError(
+                f"override for node {node.id} carries id {replacement.id}"
+            )
+        result.add_node(replacement.id, replacement.opcode, replacement.name,
+                        replacement.value, replacement.array)
+    for node in edit.extra_nodes:
+        result.add_node(node.id, node.opcode, node.name, node.value, node.array)
+
+    for e in dfg.edges():
+        if e.dst in gone or e.dst in edit.drop_in_edges:
+            continue
+        src = _resolve(edit.forward, e.src)
+        if src in edit.drop:
+            raise ValueError(
+                f"edge {e.src}->{e.dst} left dangling by dropped node {src}"
+            )
+        result.add_edge(src, e.dst, e.kind, e.distance, e.operand_index)
+    for e in edit.extra_edges:
+        result.add_edge(e.src, e.dst, e.kind, e.distance, e.operand_index)
+    return result, node_map
+
+
+def observable_ids(dfg: DFG) -> Set[int]:
+    """Nodes whose values constitute the graph's observable behaviour.
+
+    Memory writers, OUTPUT nodes, and dataflow sinks -- nodes with no
+    outgoing *data* edge. A node whose only consumers read it through
+    loop-carried edges is a sink too: it is the live-out value of an
+    accumulator recurrence (nothing downstream consumes it within the
+    iteration, but its final value is the loop's result). Dead-node
+    elimination keeps exactly these and their ancestors; the differential
+    verifier insists they survive every pipeline.
+    """
+    from repro.arch.isa import Opcode
+
+    observable: Set[int] = set()
+    for node in dfg.nodes():
+        if node.opcode in (Opcode.STORE, Opcode.OUTPUT):
+            observable.add(node.id)
+        elif all(e.is_loop_carried for e in dfg.out_edges(node.id)):
+            observable.add(node.id)
+    return observable
+
+
+def ancestors_of(dfg: DFG, roots: Iterable[int]) -> Set[int]:
+    """``roots`` plus every node reaching them through any edge kind."""
+    live: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        node_id = stack.pop()
+        if node_id in live:
+            continue
+        live.add(node_id)
+        stack.extend(e.src for e in dfg.in_edges(node_id))
+    return live

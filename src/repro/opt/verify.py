@@ -1,0 +1,139 @@
+"""Differential verification of optimization passes.
+
+Replays the optimized DFG through the sequential reference interpreter
+(:mod:`repro.sim.reference`) against the original and insists that
+
+* every surviving node (per the pass ``node_map``) produces exactly the
+  original's per-iteration values,
+* every observable node of the original survived, and
+* the final data-memory state is identical.
+
+This reuses the oracle of the PR-2 differential harness -- the reference
+interpreter is the single source of truth for DFG semantics -- so "the
+pipeline is semantics-preserving" and "the mapper is correct" are checked
+against the same ground truth.
+
+Graphs that are not arity-consistent (decorative opcodes from
+:func:`repro.graphs.generators.random_dfg`, structural test graphs) cannot
+be executed; verification is *skipped* for those -- but if an executable
+graph stops being executable after a pass, that is reported as a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.arch.isa import OPCODE_INFO, Opcode, arity as opcode_arity
+from repro.graphs.dfg import DFG
+from repro.opt.rewrite import NodeMap, observable_ids
+from repro.sim.machine import DataMemory
+from repro.sim.reference import ReferenceInterpreter
+
+
+class OptVerificationError(AssertionError):
+    """An optimization pass changed the observable semantics of a DFG."""
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one differential check."""
+
+    equivalent: bool
+    skipped: bool = False
+    detail: str = ""
+
+
+def is_executable(dfg: DFG) -> bool:
+    """True when the reference interpreter can evaluate every node."""
+    for node in dfg.nodes():
+        op = node.opcode
+        needed: Optional[int] = None
+        if op is Opcode.LOAD:
+            if node.array is None:
+                return False
+            needed = 1
+        elif op is Opcode.STORE:
+            if node.array is None:
+                return False
+            needed = 2
+        elif OPCODE_INFO[op].evaluate is not None and \
+                op not in (Opcode.ROUTE, Opcode.OUTPUT):
+            needed = opcode_arity(op)
+        if needed is None:
+            continue
+        provided = sum(
+            1 for e in dfg.in_edges(node.id)
+            if e.operand_index < opcode_arity(op)
+        )
+        if op in (Opcode.LOAD, Opcode.STORE):
+            if provided < needed:
+                return False
+        elif provided != needed:
+            return False
+    return True
+
+
+def verify_equivalence(
+    original: DFG,
+    optimized: DFG,
+    node_map: NodeMap,
+    iterations: int = 4,
+    observables: Optional[Iterable[int]] = None,
+    label: str = "pipeline",
+) -> VerificationReport:
+    """Prove ``optimized`` observably equivalent to ``original``.
+
+    Raises :class:`OptVerificationError` on any divergence; returns a
+    skipped report when the original graph is not executable.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if not is_executable(original):
+        return VerificationReport(
+            equivalent=False, skipped=True,
+            detail="original graph is not executable",
+        )
+    if not is_executable(optimized):
+        raise OptVerificationError(
+            f"{label}: optimized graph is no longer executable"
+        )
+
+    anchors = set(observables) if observables is not None \
+        else observable_ids(original)
+    for anchor in sorted(anchors):
+        if node_map.get(anchor) is None:
+            raise OptVerificationError(
+                f"{label}: observable node {anchor} was optimized away"
+            )
+
+    original_trace = ReferenceInterpreter(
+        original, memory=DataMemory()
+    ).run(iterations)
+    optimized_trace = ReferenceInterpreter(
+        optimized, memory=DataMemory()
+    ).run(iterations)
+
+    for original_id, surviving_id in sorted(node_map.items()):
+        if surviving_id is None:
+            continue
+        for iteration in range(iterations):
+            expected = original_trace.value(original_id, iteration)
+            actual = optimized_trace.value(surviving_id, iteration)
+            if expected != actual:
+                raise OptVerificationError(
+                    f"{label}: node {original_id} (now {surviving_id}) "
+                    f"diverges at iteration {iteration}: "
+                    f"reference {expected}, optimized {actual}"
+                )
+
+    if original_trace.memory.arrays() != optimized_trace.memory.arrays():
+        raise OptVerificationError(
+            f"{label}: data-memory state diverges after "
+            f"{iterations} iteration(s)"
+        )
+    return VerificationReport(
+        equivalent=True,
+        detail=f"{len(node_map)} node(s) checked over "
+               f"{iterations} iteration(s)",
+    )

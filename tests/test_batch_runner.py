@@ -73,6 +73,36 @@ class TestBatchCase:
                             arch="memory_column_mesh")
         assert all(c.arch == "memory_column_mesh" for c in cases)
 
+    def test_cache_key_depends_on_opt_configuration(self):
+        # satellite regression: every mapper-affecting knob must reach the
+        # cache key, or stale entries replay across configurations
+        base = BatchCase("aes", "2x2", "mono", 30.0)
+        o1 = BatchCase("aes", "2x2", "mono", 30.0, opt_level=1)
+        o2 = BatchCase("aes", "2x2", "mono", 30.0, opt_level=2)
+        assert len({base.cache_key(), o1.cache_key(), o2.cache_key()}) == 3
+        # "O2", "2" and 2 are one configuration -> one key
+        assert o2.cache_key() == BatchCase(
+            "aes", "2x2", "mono", 30.0, opt_level="O2").cache_key()
+        assert o2.cache_key() == BatchCase(
+            "aes", "2x2", "mono", 30.0, opt_level="2").cache_key()
+        # explicit pass lists are their own axis (list == tuple)
+        passes = BatchCase("aes", "2x2", "mono", 30.0,
+                           opt_passes=("constfold", "dce"))
+        assert passes.cache_key() not in {base.cache_key(), o2.cache_key()}
+        assert passes.cache_key() == BatchCase(
+            "aes", "2x2", "mono", 30.0,
+            opt_passes=["constfold", "dce"]).cache_key()
+        assert passes.cache_key() != BatchCase(
+            "aes", "2x2", "mono", 30.0, opt_passes=("dce",)).cache_key()
+        # opt configuration shows up in the progress label
+        assert o2.label().endswith("/O2")
+        assert passes.label().endswith("/passes=constfold,dce")
+
+    def test_opt_in_build_cases_grid(self):
+        cases = build_cases(["a"], ["2x2"], ["mono"], 10.0, opt_level="O2",
+                            opt_passes=None)
+        assert all(c.opt_level == 2 for c in cases)
+
 
 class TestBatchRunner:
     def test_parallel_results_match_serial_order_and_values(self):
@@ -100,6 +130,25 @@ class TestBatchRunner:
             [BatchCase("bitcount", "2x2", "monomorphism", 31.0)]
         )
         assert third.executed == 1 and third.cache_hits == 0
+
+    def test_stale_cache_never_replays_across_opt_configs(self, tmp_path):
+        # the same benchmark/size/approach at O0 and O2 produce different
+        # IIs; a cache written at O0 must not serve the O2 case
+        path = os.fspath(tmp_path / "cache.jsonl")
+        o0_case = BatchCase("aes", "4x4", "monomorphism", 60.0)
+        o2_case = BatchCase("aes", "4x4", "monomorphism", 60.0, opt_level=2)
+        first = BatchRunner(jobs=1, cache_path=path).run([o0_case])
+        assert first.executed == 1 and first.results[0].succeeded
+        second = BatchRunner(jobs=1, cache_path=path).run([o2_case])
+        assert second.executed == 1 and second.cache_hits == 0
+        assert second.results[0].ii < first.results[0].ii  # aes: 6 vs 14
+        assert second.results[0].opt_level == 2
+        assert second.results[0].nodes_opt < second.results[0].nodes
+        # both configurations now hit, each under its own key
+        third = BatchRunner(jobs=1, cache_path=path).run([o0_case, o2_case])
+        assert third.executed == 0 and third.cache_hits == 2
+        assert third.results[0].ii == first.results[0].ii
+        assert third.results[1].ii == second.results[0].ii
 
     def test_heterogeneous_cases_run_through_the_engine(self):
         # the architecture axis end to end: same kernel, three fabrics,

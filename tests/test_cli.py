@@ -160,3 +160,67 @@ class TestExperimentSubcommands:
                      "--timeout", "30", "--no-baseline"])
         assert code == 0
         assert "Table III" in capsys.readouterr().out
+
+    def test_archsweep_forwarding(self, capsys):
+        code = main(["archsweep", "--benchmarks", "bitcount",
+                     "--size", "3x3", "--archs", "homogeneous_torus",
+                     "--timeout", "30", "--quiet"])
+        assert code == 0
+        assert "II per fabric" in capsys.readouterr().out
+
+    def test_optsweep_forwarding(self, capsys):
+        code = main(["optsweep", "--benchmarks", "aes", "--size", "4x4",
+                     "--opt-levels", "O0", "O2", "--timeout", "30",
+                     "--quiet"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Opt-level sweep" in output
+        assert "II@O0" in output and "II@O2" in output
+        assert "1/1 benchmark(s) improved" in output
+
+
+class TestOptOptions:
+    def test_list_enumerates_presets_kernels_and_passes(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        # one table covering every axis: benchmarks, kernels, fabrics, passes
+        for name in ("aes", "dot_product", "running_example",
+                     "mul_sparse_checkerboard", "memory_column_mesh",
+                     "reassoc", "constfold"):
+            assert name in output
+
+    def test_map_opt_level_lowers_ii(self, capsys):
+        assert main(["map", "--benchmark", "aes", "--cgra", "4x4",
+                     "--timeout", "30", "--opt-level", "O2"]) == 0
+        output = capsys.readouterr().out
+        assert "opt: 23 -> 10 node(s)" in output
+        assert "verified" in output
+        assert "II=6" in output
+
+    def test_map_explicit_passes(self, capsys):
+        assert main(["map", "--benchmark", "basicmath", "--cgra", "4x4",
+                     "--timeout", "30", "--passes", "constfold", "dce"]) == 0
+        output = capsys.readouterr().out
+        assert "constfold" in output
+
+    def test_map_opt_simulate_kernel_example(self, capsys):
+        # the full frontend flow at O2: extraction, optimization (the
+        # accumulator reassociation fires on bitcount4), mapping, and a
+        # cycle-level run against the reference with remapped initial values
+        code = main(["map", "--kernel-example", "bitcount4", "--cgra", "3x3",
+                     "--timeout", "30", "--opt-level", "O2", "--simulate",
+                     "--iterations", "6"])
+        assert code == 0
+        assert "matches the sequential reference" in capsys.readouterr().out
+
+    def test_sweep_with_opt_level_shows_column(self, capsys):
+        code = main(["sweep", "--benchmarks", "bitcount", "--sizes", "2x2",
+                     "--timeout", "30", "--opt-level", "O1", "--quiet"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Opt" in output and "O1" in output
+
+    def test_map_rejects_bad_opt_level(self):
+        with pytest.raises(ValueError):
+            main(["map", "--benchmark", "bitcount", "--cgra", "2x2",
+                  "--opt-level", "O9"])
