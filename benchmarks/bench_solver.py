@@ -1,0 +1,213 @@
+"""End-to-end benchmark of the flat-arena CDCL kernel (``BENCH_solver.json``).
+
+The claim asserted here is the acceptance criterion of the solver rewrite:
+on the coupled-baseline 8x8 schedule-enumeration set, the flat-arena kernel
+(:mod:`repro.smt.sat`) is at least :data:`SPEEDUP_THRESHOLD` times faster
+end to end than the pre-rewrite solver stack, with identical results.
+
+**Workload** (per benchmark of the bench_incremental enumeration set --
+gsm, particlefilter, crc32, aes, cfd -- on an 8x8 torus):
+
+1. a full coupled ``SatMapItMapper.map()`` call (the mII -> II sweep whose
+   ``nodes x II x PEs`` formulas are the hottest thing the repo builds), and
+2. coupled *schedule enumeration*: encode once, then enumerate up to
+   :data:`SCHEDULES_PER_II` distinct schedules at the first feasible II
+   through blocking clauses -- the solve/block/re-solve loop the mapper
+   runs whenever the space phase rejects schedules.
+
+**Baseline leg**: the pre-rewrite kernel, preserved verbatim in
+:mod:`repro.smt.sat_reference`, driven with
+``BaselineConfig(solver_backend="reference", legacy_solver_sync=True)`` --
+i.e. including the per-sync phase/activity sweep the stack performed before
+the rewrite. That is the faithful "before this PR" configuration; see
+docs/performance.md for the exact definition.
+
+**Equality checks**: map status and II must match per benchmark, and the
+enumeration legs must produce the same number of distinct schedules. (The
+kernels may visit models in different orders; the differential suite in
+``tests/test_solver_differential.py`` covers status/core semantics.)
+
+Timings are best-of-:data:`RUNS`. The per-benchmark measurements are
+written to ``BENCH_solver.json`` at the repository root. CI's perf-smoke
+job runs the small set (``REPRO_BENCH_SOLVER_SMALL=1``) against the same
+threshold.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.arch.cgra import CGRA
+from repro.baseline.satmapit import SatMapItMapper, _CoupledEncoding
+from repro.core.config import BaselineConfig
+from repro.core.mapper import begin_mapping
+from repro.workloads.suite import load_benchmark
+from repro.smt.sat import SolveStatus
+
+ARTIFACT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+)
+
+#: the schedule-enumeration benchmarks of bench_incremental, on the array
+#: size where the coupled encoding's nodes x II x PEs growth bites
+ENUMERATION_BENCHMARKS = ["gsm", "particlefilter", "crc32", "aes", "cfd"]
+#: subset used by the CI perf-smoke job (search-bound, seconds not minutes)
+SMALL_SET = ["gsm", "cfd"]
+ENUMERATION_SIDE = 8
+
+#: distinct schedules requested from the enumeration leg per benchmark
+SCHEDULES_PER_II = 16
+#: asserted end-to-end speedup of the arena kernel over the pre-rewrite one
+SPEEDUP_THRESHOLD = 1.5
+#: best-of runs per leg (absorbs scheduler noise without hiding regressions)
+RUNS = 2
+
+
+def _benchmark_set():
+    if os.environ.get("REPRO_BENCH_SOLVER_SMALL"):
+        return SMALL_SET
+    return ENUMERATION_BENCHMARKS
+
+
+def _config(backend: str, timeout: float) -> BaselineConfig:
+    if backend == "reference":
+        return BaselineConfig(timeout_seconds=timeout,
+                              total_timeout_seconds=timeout,
+                              solver_backend="reference",
+                              legacy_solver_sync=True)
+    return BaselineConfig(timeout_seconds=timeout,
+                          total_timeout_seconds=timeout)
+
+
+def _run_map(dfg, backend: str, timeout: float):
+    cgra = CGRA(ENUMERATION_SIDE, ENUMERATION_SIDE)
+    mapper = SatMapItMapper(cgra, _config(backend, timeout))
+    start = time.monotonic()
+    result = mapper.map(dfg)
+    return result, time.monotonic() - start
+
+
+def _run_enumeration(dfg, backend: str, timeout: float):
+    """Encode once, enumerate schedules at the first feasible II."""
+    cgra = CGRA(ENUMERATION_SIDE, ENUMERATION_SIDE)
+    config = _config(backend, timeout)
+    _, _, mii, infeasible = begin_mapping(dfg, cgra)
+    assert infeasible is None
+    start = time.monotonic()
+    encoding = _CoupledEncoding(
+        dfg, cgra, max(config.slack_candidates()),
+        solver_backend=config.solver_backend,
+        legacy_sync=config.legacy_solver_sync,
+    )
+    produced = 0
+    ii = mii
+    while produced == 0 and ii < mii + 8:
+        eff_slack = encoding.effective_slack(0)
+        encoding.problem.push()
+        try:
+            encoding._add_horizon(eff_slack)
+            encoding._add_loop_carried(ii)
+            encoding._add_capacity(ii)
+            encoding._add_exclusivity(ii, eff_slack)
+            for _ in range(SCHEDULES_PER_II):
+                result = encoding.problem.solve_detailed(
+                    timeout_seconds=timeout)
+                if result.status is not SolveStatus.SAT:
+                    break
+                produced += 1
+                solution = encoding.problem._extract(result)
+                encoding.problem.forbid_assignment({
+                    var: solution.value(var)
+                    for var in encoding.time_vars.values()
+                })
+        finally:
+            encoding.problem.pop()
+        ii += 1
+    return produced, time.monotonic() - start
+
+
+def _measure(dfg, backend: str, timeout: float):
+    """Best-of-RUNS end-to-end seconds for both workload components."""
+    best_map = best_enum = None
+    map_result = None
+    produced = None
+    for _ in range(RUNS):
+        map_result, map_seconds = _run_map(dfg, backend, timeout)
+        count, enum_seconds = _run_enumeration(dfg, backend, timeout)
+        if produced is None:
+            produced = count
+        else:
+            assert produced == count, "enumeration count not reproducible"
+        best_map = map_seconds if best_map is None else min(best_map,
+                                                           map_seconds)
+        best_enum = enum_seconds if best_enum is None else min(best_enum,
+                                                               enum_seconds)
+    return map_result, produced, best_map, best_enum
+
+
+def test_arena_kernel_end_to_end_speedup(bench_timeout):
+    """The tentpole perf claim, measured against the pre-rewrite stack."""
+    benchmarks = _benchmark_set()
+    timeout = max(bench_timeout, 60.0)  # equality matters more than budget
+    records = []
+    arena_total = 0.0
+    reference_total = 0.0
+    for name in benchmarks:
+        dfg = load_benchmark(name)
+        arena_result, arena_count, arena_map, arena_enum = _measure(
+            dfg, "arena", timeout)
+        ref_result, ref_count, ref_map, ref_enum = _measure(
+            dfg, "reference", timeout)
+        # identical results first: the speed claim is meaningless otherwise
+        assert arena_result.status == ref_result.status, name
+        assert arena_result.ii == ref_result.ii, name
+        assert arena_count == ref_count, name
+        assert arena_count >= 1, name
+        arena_seconds = arena_map + arena_enum
+        reference_seconds = ref_map + ref_enum
+        arena_total += arena_seconds
+        reference_total += reference_seconds
+        records.append({
+            "benchmark": name,
+            "cgra": f"{ENUMERATION_SIDE}x{ENUMERATION_SIDE}",
+            "status": arena_result.status.value,
+            "ii": arena_result.ii,
+            "schedules_enumerated": arena_count,
+            "arena_map_seconds": round(arena_map, 6),
+            "arena_enum_seconds": round(arena_enum, 6),
+            "reference_map_seconds": round(ref_map, 6),
+            "reference_enum_seconds": round(ref_enum, 6),
+            "speedup": round(reference_seconds / arena_seconds, 3),
+        })
+        print(f"\n{name}: arena {arena_seconds:.3f}s "
+              f"(map {arena_map:.3f} + enum {arena_enum:.3f}), "
+              f"reference {reference_seconds:.3f}s, "
+              f"{reference_seconds / arena_seconds:.2f}x")
+    speedup = reference_total / arena_total
+    artifact = {
+        "workload": (
+            "coupled-baseline 8x8 schedule-enumeration set: full map() "
+            f"plus {SCHEDULES_PER_II}-schedule enumeration per benchmark"
+        ),
+        "benchmarks": benchmarks,
+        "baseline": (
+            "repro.smt.sat_reference.ReferenceSATSolver with "
+            "legacy_solver_sync=True (the pre-rewrite solver stack)"
+        ),
+        "threshold_speedup": SPEEDUP_THRESHOLD,
+        "runs_per_leg": RUNS,
+        "arena_seconds": round(arena_total, 6),
+        "reference_seconds": round(reference_total, 6),
+        "speedup": round(speedup, 3),
+        "records": records,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n",
+                             encoding="utf-8")
+    print(f"\ntotal: arena {arena_total:.3f}s, reference "
+          f"{reference_total:.3f}s ({speedup:.2f}x); artifact written to "
+          f"{ARTIFACT_PATH}")
+    assert speedup >= SPEEDUP_THRESHOLD, (
+        f"flat-arena kernel only {speedup:.2f}x faster than the pre-rewrite "
+        f"stack (threshold {SPEEDUP_THRESHOLD}x)"
+    )

@@ -53,6 +53,7 @@ from repro.graphs.analysis import (
     res_ii,
 )
 from repro.graphs.dfg import DFG
+from repro.perf import PerfCounters, timed
 from repro.smt.cnf import negate
 from repro.smt.csp import FiniteDomainProblem, IntVar
 from repro.smt.sat import SolveResult, SolveStatus
@@ -71,20 +72,27 @@ class _CoupledEncoding:
         cgra: CGRA,
         max_slack: int,
         deadline: Optional[float] = None,
+        perf: Optional[PerfCounters] = None,
+        solver_backend: Optional[str] = None,
+        legacy_sync: bool = False,
     ) -> None:
         self.dfg = dfg
         self.cgra = cgra
         self.deadline = deadline
+        self.perf = perf
         self._needed_slack = max(
             0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg)
         )
         self.max_slack = max(max_slack, self._needed_slack)
         self.mobs = mobility_schedule(dfg, slack=self.max_slack)
-        self.problem = FiniteDomainProblem()
+        self.problem = FiniteDomainProblem(
+            solver_cls=solver_backend, perf=perf, legacy_sync=legacy_sync
+        )
         self.time_vars: Dict[int, IntVar] = {}
         self.place_vars: Dict[int, IntVar] = {}
         self._base_latest: Dict[int, int] = {}
-        self._build_base()
+        with timed(perf, "encode_seconds"):
+            self._build_base()
 
     # ------------------------------------------------------------------ #
     def _check_deadline(self) -> None:
@@ -128,15 +136,19 @@ class _CoupledEncoding:
     def _add_routability(self) -> None:
         """Endpoints of every dependence on identical or adjacent PEs."""
         problem = self.problem
+        add_clean = problem.cnf.add_clause_clean
         for a, b in sorted(self.dfg.undirected_edges()):
             self._check_deadline()
             place_a = self.place_vars[a]
             place_b = self.place_vars[b]
             for pe in range(self.cgra.num_pes):
                 reachable = self.cgra.neighbors_or_self(pe)
-                clause = [negate(problem.value_literal(place_a, pe))]
-                clause.extend(problem.value_literal(place_b, q) for q in sorted(reachable))
-                problem.add_clause(clause)
+                # placement literals of two distinct nodes: clean clause
+                clause = [-problem.value_literal(place_a, pe)]
+                clause.extend(
+                    problem.value_literal(place_b, q) for q in sorted(reachable)
+                )
+                add_clean(clause)
 
     # ------------------------------------------------------------------ #
     # Scoped (II, slack) constraints
@@ -173,21 +185,36 @@ class _CoupledEncoding:
     def _add_exclusivity(self, ii: int, eff_slack: int) -> None:
         """At most one operation per (kernel slot, PE) resource of the MRRG."""
         problem = self.problem
-        occupancy: Dict[tuple, List[int]] = {}
+        add_clean = problem.cnf.add_clause_clean
+        reserve = problem.cnf.pool.reserve
+        num_pes = self.cgra.num_pes
+        occupancy: List[List[List[int]]] = [
+            [[] for _ in range(num_pes)] for _ in range(ii)
+        ]
         for node_id in self.dfg.node_ids():
             self._check_deadline()
             place_var = self.place_vars[node_id]
+            pe_literals = [problem.value_literal(place_var, pe)
+                           for pe in range(num_pes)]
             for slot in self._candidate_slots(node_id, ii, eff_slack):
                 slot_literal = self._slot_literal(node_id, ii, slot)
-                for pe in range(self.cgra.num_pes):
-                    pe_literal = problem.value_literal(place_var, pe)
-                    z = problem.new_bool()
-                    problem.add_clause([negate(slot_literal), negate(pe_literal), z])
-                    occupancy.setdefault((slot, pe), []).append(z)
-        for (_slot, _pe), literals in occupancy.items():
+                clean = type(slot_literal) is int
+                slot_occupancy = occupancy[slot]
+                z = reserve(num_pes)  # one occupancy indicator per PE
+                for pe in range(num_pes):
+                    pe_literal = pe_literals[pe]
+                    if clean and type(pe_literal) is int:
+                        add_clean([-slot_literal, -pe_literal, z])
+                    else:
+                        problem.add_clause(
+                            [negate(slot_literal), negate(pe_literal), z])
+                    slot_occupancy[pe].append(z)
+                    z += 1
+        for slot_occupancy in occupancy:
             self._check_deadline()
-            if len(literals) > 1:
-                problem.at_most(literals, 1)
+            for literals in slot_occupancy:
+                if len(literals) > 1:
+                    problem.at_most(literals, 1)
 
     def _add_horizon(self, eff_slack: int) -> None:
         for node_id, var in self.time_vars.items():
@@ -202,11 +229,12 @@ class _CoupledEncoding:
         eff_slack = self.effective_slack(slack)
         self.problem.push()
         try:
-            self._add_horizon(eff_slack)
-            self._add_loop_carried(ii)
-            self._add_capacity(ii)
-            self._check_deadline()
-            self._add_exclusivity(ii, eff_slack)
+            with timed(self.perf, "encode_seconds"):
+                self._add_horizon(eff_slack)
+                self._add_loop_carried(ii)
+                self._add_capacity(ii)
+                self._check_deadline()
+                self._add_exclusivity(ii, eff_slack)
             return self.problem.solve_detailed(timeout_seconds=timeout_seconds)
         finally:
             self.problem.pop()
@@ -243,6 +271,9 @@ class SatMapItMapper:
         start = time.monotonic()
         budget = self.config.timeout_seconds
         deadline = start + budget if budget is not None else None
+        perf = PerfCounters(detailed=self.config.profile)
+        perf.extra["engine"] = "satmapit"
+        perf.extra["backend"] = self.config.solver_backend
 
         # pre-mapping optimization shrinks the coupled encoding just like
         # the decoupled one: fewer nodes means fewer nodes x II x PEs vars
@@ -253,6 +284,7 @@ class SatMapItMapper:
             infeasible.opt = opt_result
             if opt_result is not None:
                 infeasible.opt_seconds = opt_result.seconds
+            infeasible.stats = perf.as_dict()
             return infeasible
         max_ii = self._max_ii(dfg, mii)
         result = MappingResult(
@@ -267,13 +299,16 @@ class SatMapItMapper:
         max_slack = max(self.config.slack_candidates(), default=self.config.slack)
         try:
             encoding = _CoupledEncoding(
-                dfg, self.cgra, max_slack, deadline=deadline
+                dfg, self.cgra, max_slack, deadline=deadline, perf=perf,
+                solver_backend=self.config.solver_backend,
+                legacy_sync=self.config.legacy_solver_sync,
             )
         except _EncodingTimeout:
             result.status = MappingStatus.TIME_TIMEOUT
             result.message = "timed out while building the base encoding"
             result.total_seconds = time.monotonic() - start
             result.time_phase_seconds = result.total_seconds
+            result.stats = perf.as_dict()
             return result
 
         for ii in range(mii, max_ii + 1):
@@ -325,4 +360,5 @@ class SatMapItMapper:
         result.time_phase_seconds = result.total_seconds
         if result.status is MappingStatus.NO_SOLUTION and not result.message:
             result.message = f"no coupled mapping found for II in [{mii}, {max_ii}]"
+        result.stats = perf.as_dict()
         return result

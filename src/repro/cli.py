@@ -19,6 +19,8 @@ Subcommands::
                                            # parallel batch over the suite
     repro-map sweep --arch mul_sparse_checkerboard --sizes 4x4
     repro-map sweep --opt-level O2 --sizes 4x4
+    repro-map profile aes --cgra 4x4       # per-phase timing/counter JSON
+    repro-map profile gsm cfd --approach satmapit --json profile.json
     repro-map archsweep --benchmarks bitcount --size 4x4
                                            # II across fabrics
     repro-map optsweep --benchmarks aes crc32 --size 4x4
@@ -28,6 +30,8 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Iterator, Optional, Sequence, Tuple
 
@@ -178,6 +182,57 @@ def _cmd_arch(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"arch spec written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile benchmarks and emit the per-phase timing/counter JSON."""
+    from repro.perf.profile import profile_benchmarks
+    from repro.experiments.runner import normalize_approach
+
+    for name in args.benchmarks:
+        if name not in ("running_example", "example"):
+            spec(name)  # fail early on typos
+    records = profile_benchmarks(
+        args.benchmarks,
+        size=args.cgra,
+        approach=normalize_approach(args.approach),
+        timeout_seconds=args.timeout,
+        arch=args.arch,
+        opt_level=args.opt_level,
+        opt_passes=tuple(args.passes) if args.passes else None,
+        solver_backend=args.solver_backend,
+    )
+    table = Table(
+        headers=["Benchmark", "Status", "II", "Encode", "Solve", "Propagate",
+                 "Analyze", "Space", "Conflicts", "Props", "Learnts"],
+        title=f"Profile -- {args.approach} on {args.cgra}"
+              f" ({args.solver_backend} kernel)",
+    )
+    for record in records:
+        seconds = record["stats"]["seconds"]
+        solver = record["stats"]["solver"]
+        table.add_row(
+            record["benchmark"],
+            record["status"],
+            record["ii"],
+            format_seconds(seconds["encode"]),
+            format_seconds(seconds["solve"]),
+            format_seconds(seconds.get("propagate")),
+            format_seconds(seconds.get("analyze")),
+            format_seconds(seconds["space"]),
+            solver["conflicts"],
+            solver["propagations"],
+            solver["learnts"],
+        )
+    print(table.render())
+    text = json.dumps(records, indent=2)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nprofile written to {args.json}")
     else:
         print(text)
     return 0
@@ -340,6 +395,35 @@ def build_parser() -> argparse.ArgumentParser:
     optsweep_parser.add_argument("rest", nargs=argparse.REMAINDER)
     optsweep_parser.set_defaults(handler=lambda args: opt_sweep.main(args.rest))
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run benchmarks with per-phase solver profiling and emit JSON",
+    )
+    profile_parser.add_argument("benchmarks", nargs="+",
+                                help="benchmark names (see `repro-map list`)")
+    profile_parser.add_argument("--cgra", default="4x4",
+                                help="CGRA size, e.g. 4x4")
+    profile_parser.add_argument("--arch", default=None,
+                                help="architecture preset or arch-spec JSON")
+    profile_parser.add_argument("--approach", default="monomorphism",
+                                choices=["monomorphism", "mono", "decoupled",
+                                         "satmapit", "baseline"],
+                                help="mapping engine to profile")
+    profile_parser.add_argument("--solver-backend", default="arena",
+                                choices=["arena", "reference"],
+                                help="SAT kernel (reference = pre-rewrite "
+                                     "oracle)")
+    profile_parser.add_argument("--timeout", type=float, default=120.0)
+    profile_parser.add_argument("--opt-level", default="O0",
+                                help=f"O0..O{MAX_OPT_LEVEL} (default O0)")
+    profile_parser.add_argument("--passes", nargs="+", default=None,
+                                metavar="PASS",
+                                help="explicit optimization pass list")
+    profile_parser.add_argument("--json", default=None,
+                                help="write the records to a JSON file "
+                                     "(default: print to stdout)")
+    profile_parser.set_defaults(handler=_cmd_profile)
+
     sweep_parser = subparsers.add_parser(
         "sweep",
         help="run a (benchmark x size x approach) grid in parallel with "
@@ -368,8 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "overriding --opt-level")
     sweep_parser.add_argument("--timeout", type=float, default=60.0,
                               help="per-case soft timeout in seconds")
-    sweep_parser.add_argument("--jobs", type=int, default=1,
-                              help="concurrent worker processes")
+    sweep_parser.add_argument("--jobs", type=int,
+                              default=os.cpu_count() or 1,
+                              help="concurrent worker processes "
+                                   "(default: all CPUs)")
     sweep_parser.add_argument("--cache", default=None,
                               help="JSONL result cache; solved cases are "
                                    "skipped on re-runs")

@@ -74,6 +74,15 @@ class MapperConfig:
         opt_passes: explicit pass list overriding the level's schedule
             (the CLI's ``--passes``); names from
             :func:`repro.opt.passes.pass_names`.
+        solver_backend: SAT kernel behind the SMT layer: ``"arena"`` (the
+            flat-arena kernel of :mod:`repro.smt.sat`, the default) or
+            ``"reference"`` (the pre-rewrite kernel preserved in
+            :mod:`repro.smt.sat_reference`, used by the differential suite
+            and ``benchmarks/bench_solver.py``).
+        profile: record detailed per-phase wall-clock attribution
+            (propagate / analyze / reduce) inside the CDCL loop on top of
+            the always-on counters; ``MappingResult.stats`` carries the
+            result either way. This is what ``repro-map profile`` flips on.
     """
 
     max_ii: Optional[int] = None
@@ -92,6 +101,8 @@ class MapperConfig:
     incremental_time: bool = True
     opt_level: Union[int, str] = 0
     opt_passes: Optional[Tuple[str, ...]] = None
+    solver_backend: str = "arena"
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.slack < 0:
@@ -128,6 +139,12 @@ class BaselineConfig:
     validate: bool = True
     opt_level: Union[int, str] = 0
     opt_passes: Optional[Tuple[str, ...]] = None
+    #: SAT kernel: "arena" (default) or "reference" (pre-rewrite oracle)
+    solver_backend: str = "arena"
+    #: detailed per-phase wall clock inside the solver (repro-map profile)
+    profile: bool = False
+    #: benchmarks/bench_solver.py only: pre-rewrite per-sync sweep costs
+    legacy_solver_sync: bool = False
 
     def __post_init__(self) -> None:
         if self.slack < 0:

@@ -32,7 +32,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.opt.pipeline import OptResult
@@ -47,6 +47,7 @@ from repro.core.time_solver import IncrementalTimeSolver, Schedule, TimeSolver
 from repro.core.validation import assert_valid_mapping
 from repro.graphs.analysis import critical_path_length, rec_ii, res_ii
 from repro.graphs.dfg import DFG
+from repro.perf import PerfCounters
 
 
 class MappingStatus(enum.Enum):
@@ -83,6 +84,12 @@ class MappingResult:
     (e.g. simulation initial values) onto the optimized graph the returned
     ``mapping`` refers to -- and ``opt_seconds`` the time it took (also part
     of ``total_seconds``: optimization is compilation time).
+
+    ``stats`` is the :class:`repro.perf.PerfCounters` payload of the run
+    (solver counters, per-phase wall clock, space-search counters); both
+    engines populate it on every call. With ``config.profile`` set it also
+    carries the detailed in-loop propagate/analyze/reduce attribution --
+    that is what ``repro-map profile`` prints.
     """
 
     status: MappingStatus
@@ -99,6 +106,7 @@ class MappingResult:
     message: str = ""
     opt: Optional["OptResult"] = None
     opt_seconds: float = 0.0
+    stats: Optional[Dict[str, object]] = None
 
     @property
     def success(self) -> bool:
@@ -192,6 +200,7 @@ class MonomorphismMapper:
         self.cgra = cgra
         self.config = config if config is not None else MapperConfig()
         self.space_solver = SpaceSolver(cgra, self.config)
+        self._perf = PerfCounters()  # replaced per map() call
 
     # ------------------------------------------------------------------ #
     def _max_ii(self, dfg: DFG, mii: int) -> int:
@@ -205,6 +214,10 @@ class MonomorphismMapper:
         """Map ``dfg`` onto the CGRA; never raises for ordinary failures."""
         dfg.validate()
         start = time.monotonic()
+        perf = PerfCounters(detailed=self.config.profile)
+        perf.extra["engine"] = "monomorphism"
+        perf.extra["backend"] = self.config.solver_backend
+        self._perf = perf
         dfg, opt_result = run_pre_mapping_opt(dfg, self.cgra, self.config)
         resource_ii, recurrence_ii, mii, infeasible = begin_mapping(dfg, self.cgra)
         if infeasible is not None:
@@ -212,6 +225,7 @@ class MonomorphismMapper:
             infeasible.opt = opt_result
             if opt_result is not None:
                 infeasible.opt_seconds = opt_result.seconds
+            infeasible.stats = perf.as_dict()
             return infeasible
         max_ii = self._max_ii(dfg, mii)
 
@@ -230,7 +244,7 @@ class MonomorphismMapper:
         # base encoding is built once and every (II, slack) attempt is a
         # retractable clause scope, carrying activities and phases across.
         incremental = (
-            IncrementalTimeSolver(dfg, self.cgra, self.config)
+            IncrementalTimeSolver(dfg, self.cgra, self.config, perf=perf)
             if self.config.incremental_time
             else None
         )
@@ -274,6 +288,7 @@ class MonomorphismMapper:
                 f"(tried {result.schedules_tried} schedule(s))"
             )
         result.total_seconds = time.monotonic() - start
+        result.stats = perf.as_dict()
         return result
 
     # ------------------------------------------------------------------ #
@@ -322,7 +337,8 @@ class MonomorphismMapper:
                     )
                 else:
                     solver = TimeSolver(
-                        dfg, self.cgra, ii, self.config, slack=slack
+                        dfg, self.cgra, ii, self.config, slack=slack,
+                        perf=self._perf,
                     )
                     schedule_iter = solver.iter_schedules(timeout_seconds=budget)
                 schedule = self._next_schedule(schedule_iter)
@@ -344,6 +360,11 @@ class MonomorphismMapper:
                     ),
                 )
                 result.space_phase_seconds += space_result.elapsed_seconds
+                perf = self._perf
+                perf.space_calls += 1
+                perf.space_seconds += space_result.elapsed_seconds
+                perf.space_nodes_explored += space_result.stats.nodes_explored
+                perf.space_backtracks += space_result.stats.backtracks
                 if space_result.found:
                     mapping = Mapping(
                         dfg=dfg,

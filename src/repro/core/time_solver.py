@@ -20,12 +20,13 @@ solution possible (paper Sec. IV-D); they can be disabled for ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.arch.cgra import CGRA
 from repro.core.config import MapperConfig
 from repro.core.exceptions import PhaseTimeoutError
 from repro.core.feasibility import analyze_feasibility
+from repro.perf import PerfCounters, timed
 from repro.graphs.analysis import (
     MobilitySchedule,
     critical_path_length,
@@ -73,15 +74,32 @@ class Schedule:
         """Node -> kernel slot, the labelling used by the space phase."""
         return {n: self.slot(n) for n in self.start_times}
 
-    def slot_population(self) -> List[Set[int]]:
-        """Nodes per kernel slot (``C_i`` of the capacity constraint)."""
-        population: List[Set[int]] = [set() for _ in range(self.ii)]
-        for node_id in self.start_times:
-            population[self.slot(node_id)].add(node_id)
-        return population
+    def slot_population(self) -> Tuple[FrozenSet[int], ...]:
+        """Nodes per kernel slot (``C_i`` of the capacity constraint).
+
+        Memoized: a schedule is immutable once produced by the time phase,
+        so the populations never change and callers that read them
+        repeatedly (the validator checks every slot of every mapping, and
+        ``max_slot_population`` is recomputed throughout the test suite)
+        share one computation. The cached value is a tuple of frozensets
+        so no caller can corrupt it in place; the cache needs no
+        invalidation because nothing mutates ``start_times``.
+        """
+        cached = getattr(self, "_slot_population_cache", None)
+        if cached is None:
+            population: List[Set[int]] = [set() for _ in range(self.ii)]
+            for node_id, start in self.start_times.items():
+                population[start % self.ii].add(node_id)
+            cached = tuple(frozenset(s) for s in population)
+            object.__setattr__(self, "_slot_population_cache", cached)
+        return cached
 
     def max_slot_population(self) -> int:
-        return max(len(s) for s in self.slot_population())
+        cached = getattr(self, "_max_slot_population_cache", None)
+        if cached is None:
+            cached = max(len(s) for s in self.slot_population())
+            object.__setattr__(self, "_max_slot_population_cache", cached)
+        return cached
 
     def neighbor_slot_count(self, node_id: int, slot: int) -> int:
         """``|S_v^i|``: neighbours of a node scheduled in a given slot."""
@@ -141,6 +159,7 @@ class TimeSolver:
         ii: int,
         config: Optional[MapperConfig] = None,
         slack: Optional[int] = None,
+        perf: Optional[PerfCounters] = None,
     ) -> None:
         if ii < 1:
             raise ValueError("II must be >= 1")
@@ -148,6 +167,7 @@ class TimeSolver:
         self.cgra = cgra
         self.ii = ii
         self.config = config if config is not None else MapperConfig()
+        self.perf = perf
         # The Mobility Schedule horizon must be long enough for the CGRA to
         # absorb all operations: if the DFG has more nodes than
         # ``num_pes * critical_path`` no packing fits the default horizon, so
@@ -159,7 +179,9 @@ class TimeSolver:
         self.slack = max(base_slack, needed)
         self.mobs: MobilitySchedule = mobility_schedule(dfg, slack=self.slack)
         self.kms = KernelMobilitySchedule(self.mobs, ii)
-        self.problem = FiniteDomainProblem()
+        self.problem = FiniteDomainProblem(
+            solver_cls=self.config.solver_backend, perf=perf
+        )
         self._time_vars: Dict[int, IntVar] = {}
         self._build()
 
@@ -167,12 +189,13 @@ class TimeSolver:
     # Encoding
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
-        self._create_variables()
-        self._add_modulo_scheduling_constraints()
-        if self.config.enforce_capacity:
-            self._add_capacity_constraints()
-        if self.config.enforce_connectivity:
-            self._add_connectivity_constraints()
+        with timed(self.perf, "encode_seconds"):
+            self._create_variables()
+            self._add_modulo_scheduling_constraints()
+            if self.config.enforce_capacity:
+                self._add_capacity_constraints()
+            if self.config.enforce_connectivity:
+                self._add_connectivity_constraints()
 
     def _create_variables(self) -> None:
         for node_id in self.dfg.node_ids():
@@ -341,18 +364,22 @@ class IncrementalTimeSolver:
         dfg: DFG,
         cgra: CGRA,
         config: Optional[MapperConfig] = None,
+        perf: Optional[PerfCounters] = None,
     ) -> None:
         self.dfg = dfg
         self.cgra = cgra
         self.config = config if config is not None else MapperConfig()
+        self.perf = perf
         self._needed_slack = max(
             0, res_ii(dfg, cgra.num_pes) - critical_path_length(dfg)
         )
         self._capacity_groups = _restricted_capacity_groups(dfg, cgra)
         self._rebuilds = 0
-        self._encode(
-            max(self.config.slack, self._needed_slack) + self.HORIZON_HEADROOM
-        )
+        with timed(self.perf, "encode_seconds"):
+            self._encode(
+                max(self.config.slack, self._needed_slack)
+                + self.HORIZON_HEADROOM
+            )
 
     # ------------------------------------------------------------------ #
     # Encoding
@@ -361,7 +388,9 @@ class IncrementalTimeSolver:
         """(Re)build the base formula for horizon ``critical path + max_slack``."""
         self.max_slack = max_slack
         self.mobs: MobilitySchedule = mobility_schedule(self.dfg, slack=max_slack)
-        self.problem = FiniteDomainProblem()
+        self.problem = FiniteDomainProblem(
+            solver_cls=self.config.solver_backend, perf=self.perf
+        )
         self._time_vars: Dict[int, IntVar] = {}
         self._base_latest: Dict[int, int] = {}
         self._scope_open = False
@@ -390,30 +419,33 @@ class IncrementalTimeSolver:
     def _ensure_horizon(self, eff_slack: int) -> None:
         if eff_slack > self.max_slack:
             self._rebuilds += 1
-            self._encode(eff_slack + self.HORIZON_HEADROOM)
+            with timed(self.perf, "encode_seconds"):
+                self._encode(eff_slack + self.HORIZON_HEADROOM)
 
     def _begin_attempt(self, ii: int, eff_slack: int) -> None:
         """Open the clause scope of one (II, slack) attempt."""
         if self._scope_open:
             self.problem.pop()
             self._scope_open = False
-        self.problem.push()
-        self._scope_open = True
-        for node_id, var in self._time_vars.items():
-            self.problem.add_clause([
-                self.problem.le_literal(var, self._base_latest[node_id] + eff_slack)
-            ])
-        for edge in self.dfg.edges():
-            if edge.distance:
-                self.problem.add_ge(
-                    self._time_vars[edge.dst],
-                    self._time_vars[edge.src],
-                    self.dfg.node(edge.src).latency - edge.distance * ii,
-                )
-        if self.config.enforce_capacity:
-            self._add_capacity(ii)
-        if self.config.enforce_connectivity:
-            self._add_connectivity(ii)
+        with timed(self.perf, "encode_seconds"):
+            self.problem.push()
+            self._scope_open = True
+            for node_id, var in self._time_vars.items():
+                self.problem.add_clause([
+                    self.problem.le_literal(
+                        var, self._base_latest[node_id] + eff_slack)
+                ])
+            for edge in self.dfg.edges():
+                if edge.distance:
+                    self.problem.add_ge(
+                        self._time_vars[edge.dst],
+                        self._time_vars[edge.src],
+                        self.dfg.node(edge.src).latency - edge.distance * ii,
+                    )
+            if self.config.enforce_capacity:
+                self._add_capacity(ii)
+            if self.config.enforce_connectivity:
+                self._add_connectivity(ii)
 
     def _add_capacity(self, ii: int) -> None:
         """Sec. IV-B2 plus per-support-class bounds, inside the II scope."""

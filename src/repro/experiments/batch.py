@@ -306,6 +306,22 @@ class BatchRunner:
         if self.cache_path:
             cache_handle = open(self.cache_path, "a", encoding="utf-8")
 
+        if cache_handle is not None:
+            # Header record: which job count produced the runs appended
+            # below. The loader skips it (no "key"), so old readers and
+            # mixed-run caches keep working; it makes cache provenance
+            # auditable now that --jobs defaults to all CPUs.
+            header = {
+                "header": {
+                    "jobs": self.jobs,
+                    "cases": len(case_list),
+                    "hard_timeout_seconds": self.hard_timeout_seconds,
+                    "kill_grace_seconds": self.kill_grace_seconds,
+                }
+            }
+            cache_handle.write(json.dumps(header, sort_keys=True) + "\n")
+            cache_handle.flush()
+
         pending: deque = deque()
         for index, case in enumerate(case_list):
             key = case.cache_key()

@@ -10,6 +10,7 @@ next to the paper's values.
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.paper_data import PAPER_TABLE3
@@ -110,9 +111,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument("--no-baseline", action="store_true")
     parser.add_argument("--csv", type=str, default=None)
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="run the cases through the parallel batch "
-                             "engine with this many workers")
+                             "engine with this many workers "
+                             "(default: all CPUs)")
     parser.add_argument("--cache", type=str, default=None,
                         help="JSONL result cache shared with 'repro-map "
                              "sweep'")

@@ -18,6 +18,7 @@ Run e.g.::
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.paper_data import PAPER_AVERAGE_CTR, PAPER_TABLE3
@@ -192,9 +193,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="skip the SAT-MapIt-style baseline")
     parser.add_argument("--csv-prefix", type=str, default=None,
                         help="write one CSV per size with this prefix")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="run the cases through the parallel batch "
-                             "engine with this many workers")
+                             "engine with this many workers "
+                             "(default: all CPUs)")
     parser.add_argument("--cache", type=str, default=None,
                         help="JSONL result cache shared with 'repro-map "
                              "sweep'; solved cases are skipped")

@@ -1,0 +1,104 @@
+"""The ``repro-map profile`` driver: per-benchmark per-phase attribution.
+
+Runs one mapping per requested benchmark with
+:attr:`~repro.core.config.MapperConfig.profile` enabled (detailed in-loop
+wall-clock attribution) and collects the ``MappingResult.stats`` payloads
+into one JSON-ready report. Used by the CLI; importable for scripting::
+
+    from repro.perf.profile import profile_benchmarks
+    report = profile_benchmarks(["aes"], size="4x4")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baseline.satmapit import SatMapItMapper
+from repro.core.config import BaselineConfig, MapperConfig
+from repro.core.mapper import MonomorphismMapper
+from repro.experiments.runner import build_cgra_from_arch
+from repro.workloads.suite import load_benchmark
+
+
+def profile_case(
+    benchmark: str,
+    size: str = "4x4",
+    approach: str = "monomorphism",
+    timeout_seconds: float = 120.0,
+    arch: Optional[str] = None,
+    opt_level=0,
+    opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: str = "arena",
+) -> Dict[str, object]:
+    """Profile one (benchmark, size, approach) case; returns a JSON record."""
+    dfg = load_benchmark(benchmark)
+    cgra = build_cgra_from_arch(size, arch)
+    passes = tuple(opt_passes) if opt_passes else None
+    if approach == "satmapit":
+        mapper = SatMapItMapper(
+            cgra,
+            BaselineConfig(
+                timeout_seconds=timeout_seconds,
+                total_timeout_seconds=timeout_seconds,
+                opt_level=opt_level,
+                opt_passes=passes,
+                solver_backend=solver_backend,
+                profile=True,
+            ),
+        )
+    else:
+        mapper = MonomorphismMapper(
+            cgra,
+            MapperConfig(
+                time_timeout_seconds=timeout_seconds,
+                space_timeout_seconds=timeout_seconds,
+                total_timeout_seconds=timeout_seconds,
+                opt_level=opt_level,
+                opt_passes=passes,
+                solver_backend=solver_backend,
+                profile=True,
+            ),
+        )
+    result = mapper.map(dfg)
+    return {
+        "benchmark": benchmark,
+        "cgra": cgra.size_label,
+        "approach": approach,
+        "arch": arch,
+        "status": result.status.value,
+        "ii": result.ii,
+        "mii": result.mii,
+        "schedules_tried": result.schedules_tried,
+        "iis_tried": result.iis_tried,
+        "time_phase_seconds": round(result.time_phase_seconds, 6),
+        "space_phase_seconds": round(result.space_phase_seconds, 6),
+        "opt_seconds": round(result.opt_seconds, 6),
+        "total_seconds": round(result.total_seconds, 6),
+        "stats": result.stats,
+    }
+
+
+def profile_benchmarks(
+    benchmarks: Sequence[str],
+    size: str = "4x4",
+    approach: str = "monomorphism",
+    timeout_seconds: float = 120.0,
+    arch: Optional[str] = None,
+    opt_level=0,
+    opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: str = "arena",
+) -> List[Dict[str, object]]:
+    """Profile a list of benchmarks; one record per benchmark."""
+    return [
+        profile_case(
+            benchmark,
+            size=size,
+            approach=approach,
+            timeout_seconds=timeout_seconds,
+            arch=arch,
+            opt_level=opt_level,
+            opt_passes=opt_passes,
+            solver_backend=solver_backend,
+        )
+        for benchmark in benchmarks
+    ]

@@ -5,8 +5,12 @@ Z3 is not available in this offline reproduction, so this subpackage provides
 the solver stack the rest of the library is built on:
 
 * :mod:`repro.smt.cnf` -- CNF formula container and named variable pool.
-* :mod:`repro.smt.sat` -- a CDCL SAT solver (two-watched literals, 1UIP
-  clause learning, VSIDS branching, phase saving, Luby restarts).
+* :mod:`repro.smt.sat` -- the flat-arena CDCL SAT solver (two-watched
+  literals with a binary fast path, 1UIP clause learning, VSIDS branching,
+  phase saving, Luby restarts with Glucose-style blocking, LBD-driven
+  learnt-clause reduction, incremental push/pop and assumptions).
+* :mod:`repro.smt.sat_reference` -- the pre-rewrite kernel, kept as the
+  differential-testing oracle and the ``BENCH_solver.json`` baseline.
 * :mod:`repro.smt.cardinality` -- at-most-k / at-least-k / exactly-k clause
   encodings (pairwise and sequential-counter).
 * :mod:`repro.smt.csp` -- a finite-domain integer layer ("mini SMT"): integer

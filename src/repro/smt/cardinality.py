@@ -32,9 +32,11 @@ def at_most_one(cnf: CNF, literals: Sequence[int]) -> None:
             cnf.add_clause([negate(lit)])
         return
     if len(lits) <= 6:
-        for i in range(len(lits)):
-            for j in range(i + 1, len(lits)):
-                cnf.add_clause([negate(lits[i]), negate(lits[j])])
+        add_clean = cnf.add_clause_clean
+        negated = [negate(l) for l in lits]
+        for i in range(len(negated)):
+            for j in range(i + 1, len(negated)):
+                add_clean([negated[i], negated[j]])
         return
     at_most_k(cnf, lits, 1)
 
@@ -61,18 +63,29 @@ def at_most_k(cnf: CNF, literals: Sequence[int], k: int) -> None:
         for lit in lits:
             cnf.add_clause([negate(lit)])
         return
-    # registers[i][j] is true if at least j+1 of the first i+1 literals are true
-    registers: List[List[int]] = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
-    cnf.add_clause([negate(lits[0]), registers[0][0]])
+    # registers[i][j] is true if at least j+1 of the first i+1 literals are
+    # true; after the sentinel filtering above every literal is a plain int
+    # and every register is fresh, so the counter clauses are clean by
+    # construction and take the CNF fast path
+    base = cnf.pool.reserve(n * k)
+    registers: List[List[int]] = [
+        list(range(base + i * k, base + (i + 1) * k)) for i in range(n)
+    ]
+    add_clean = cnf.add_clause_clean
+    negated = [negate(l) for l in lits]
+    add_clean([negated[0], registers[0][0]])
     for j in range(1, k):
-        cnf.add_clause([-registers[0][j]])
+        add_clean([-registers[0][j]])
     for i in range(1, n):
-        cnf.add_clause([negate(lits[i]), registers[i][0]])
-        cnf.add_clause([-registers[i - 1][0], registers[i][0]])
+        neg_lit = negated[i]
+        row = registers[i]
+        prev = registers[i - 1]
+        add_clean([neg_lit, row[0]])
+        add_clean([-prev[0], row[0]])
         for j in range(1, k):
-            cnf.add_clause([negate(lits[i]), -registers[i - 1][j - 1], registers[i][j]])
-            cnf.add_clause([-registers[i - 1][j], registers[i][j]])
-        cnf.add_clause([negate(lits[i]), -registers[i - 1][k - 1]])
+            add_clean([neg_lit, -prev[j - 1], row[j]])
+            add_clean([-prev[j], row[j]])
+        add_clean([neg_lit, -prev[k - 1]])
     return
 
 

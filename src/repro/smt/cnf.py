@@ -46,6 +46,19 @@ class VariablePool:
             return existing
         return self.new_var(key)
 
+    def reserve(self, count: int) -> int:
+        """Allocate ``count`` anonymous variables; returns the first one.
+
+        The bulk path for encoders that need blocks of auxiliary variables
+        (sequential counters, occupancy indicators): one call instead of
+        ``count`` :meth:`new_var` round trips.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        first = self._next
+        self._next += count
+        return first
+
     def rollback(self, num_vars: int) -> None:
         """Forget every variable above ``num_vars`` (scope retraction)."""
         if num_vars < 0 or num_vars > self.num_vars:
@@ -118,22 +131,49 @@ class CNF:
         """
         clause: List[int] = []
         seen = set()
+        seen_add = seen.add
+        append = clause.append
         if self._guards:
             literals = list(literals) + [negate(g) for g in self._guards]
         for lit in literals:
-            if lit == TRUE_LIT:
+            # int literals first: they are the overwhelmingly common case,
+            # and comparing an int against the TRUE/FALSE string sentinels
+            # costs a slow cross-type dispatch per literal
+            if type(lit) is int:
+                if lit == 0:
+                    raise ValueError(f"invalid literal {lit!r}")
+                if lit not in seen:
+                    if -lit in seen:
+                        return  # tautology
+                    seen_add(lit)
+                    append(lit)
+            elif lit == TRUE_LIT:
                 return
-            if lit == FALSE_LIT:
+            elif lit == FALSE_LIT:
                 continue
-            if not isinstance(lit, int) or lit == 0:
+            elif isinstance(lit, int):  # bool is an int subclass
                 raise ValueError(f"invalid literal {lit!r}")
-            if -lit in seen:
-                return  # tautology
-            if lit not in seen:
-                seen.add(lit)
-                clause.append(lit)
+            else:
+                raise ValueError(f"invalid literal {lit!r}")
         if not clause:
             self.contradiction = True
+            return
+        self.clauses.append(clause)
+
+    def add_clause_clean(self, clause: List[int]) -> None:
+        """Append a pre-validated clause, skipping the simplification pass.
+
+        The caller guarantees what :meth:`add_clause` normally establishes:
+        only int literals (no TRUE/FALSE sentinels), non-empty, no
+        duplicate or complementary literals, and ownership of ``clause``
+        (it is stored, not copied). Encoders whose construction rules make
+        those properties structural (fresh auxiliary variables, distinct
+        source literals) ship their high-volume clause streams through
+        here. With guards active the safe path is taken instead, since a
+        guard literal may interact with the clause body.
+        """
+        if self._guards:
+            self.add_clause(clause)
             return
         self.clauses.append(clause)
 

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.perf import PerfCounters
 from repro.smt.cardinality import at_least_k, at_most_k, exactly_k, exactly_one
 from repro.smt.cnf import CNF, FALSE_LIT, TRUE_LIT, VariablePool, negate
 from repro.smt.model import FDSolution
@@ -55,19 +56,69 @@ class IntVar:
         return f"{self.name}[{self.lo}..{self.hi}]"
 
 
+def resolve_solver_backend(backend) -> type:
+    """Map a backend name to a solver class.
+
+    ``"arena"`` (the default) is the flat-arena kernel in
+    :mod:`repro.smt.sat`; ``"reference"`` is the pre-rewrite kernel kept in
+    :mod:`repro.smt.sat_reference` as the differential-testing oracle. A
+    class is passed through unchanged.
+    """
+    if backend is None:
+        return SATSolver
+    if isinstance(backend, type):
+        return backend
+    name = str(backend).lower()
+    if name in ("arena", "default", "flat"):
+        return SATSolver
+    if name == "reference":
+        from repro.smt.sat_reference import ReferenceSATSolver
+
+        return ReferenceSATSolver
+    raise ValueError(
+        f"unknown solver backend {backend!r}; expected 'arena' or 'reference'"
+    )
+
+
 class FiniteDomainProblem:
     """A conjunction of constraints over integer and Boolean variables."""
 
-    def __init__(self) -> None:
+    def __init__(self, solver_cls: Optional[type] = None,
+                 perf: Optional[PerfCounters] = None,
+                 legacy_sync: bool = False) -> None:
         self.cnf = CNF(VariablePool())
+        self._solver_cls = resolve_solver_backend(solver_cls)
+        self.perf = perf
+        #: re-run the full phase/activity seeding sweep on *every* solver
+        #: sync, as the stack did before the flat-arena rewrite. Only
+        #: ``benchmarks/bench_solver.py`` sets this, on its reference leg,
+        #: so the recorded speedup measures the whole rewrite (kernel plus
+        #: integration) against the faithful pre-rewrite behaviour.
+        self.legacy_sync = legacy_sync
         self._vars: Dict[str, IntVar] = {}
         self._direct: Dict[Tuple[str, int], int] = {}
         self._order: Dict[Tuple[str, int], int] = {}
+        # dense per-variable literal tables; the hot accessors
+        # (value_literal / le_literal) index these instead of hashing a
+        # (name, value) tuple per call
+        self._direct_list: Dict[str, List[int]] = {}
+        self._order_list: Dict[str, List[int]] = {}
         self._mod_indicator: Dict[Tuple[str, int, int], int] = {}
         self._solver: Optional[SATSolver] = None
         self._solver_clause_count = 0
         self._preferred_true: List[int] = []
-        self._initial_activity: Dict[int, float] = {}
+        self._initial_activity: List[Tuple[int, float]] = []
+        # sync watermarks: how much of _preferred_true / _initial_activity
+        # the solver has already seen. Phases are sticky and boost_activity
+        # is raise-to-at-least (idempotent), so only the tails need syncing.
+        self._pref_synced = 0
+        self._activity_synced = 0
+        # _initial_activity entries normally arrive in ascending literal
+        # order (prioritize() at variable creation), which lets pop()
+        # retract a scope's entries by tail truncation; an out-of-order
+        # prioritize() clears this flag and pop() falls back to filtering
+        self._activity_ordered = True
+        self._phases_dirty = False
         self._push_stack: List[
             Tuple[int, bool, Tuple[int, int, int, int, int], int]
         ] = []
@@ -81,16 +132,23 @@ class FiniteDomainProblem:
             raise ValueError(f"variable {name!r} already exists")
         var = IntVar(name, lo, hi)
         self._vars[name] = var
+        direct_list = []
         for value in var.domain:
             direct = self.cnf.new_var(("d", name, value))
             self._direct[(name, value)] = direct
+            direct_list.append(direct)
             # Branching on a direct literal with positive phase makes the CDCL
             # search behave like CSP value labelling (pick a start time) rather
             # than value elimination, which is dramatically faster on the
             # tightly packed scheduling instances.
             self._preferred_true.append(direct)
+        order_list = []
         for value in range(lo, hi):  # order literal for hi is constant TRUE
-            self._order[(name, value)] = self.cnf.new_var(("o", name, value))
+            order = self.cnf.new_var(("o", name, value))
+            self._order[(name, value)] = order
+            order_list.append(order)
+        self._direct_list[name] = direct_list
+        self._order_list[name] = order_list
         self._encode_domain(var)
         return var
 
@@ -123,9 +181,14 @@ class FiniteDomainProblem:
         activities, so conflict-driven learning still takes over afterwards.
         """
         span = max(1, var.domain_size)
+        items = self._initial_activity
+        if items and items[-1][0] > self._direct[(var.name, var.lo)]:
+            self._activity_ordered = False  # re-prioritizing an older var
         for rank, value in enumerate(var.domain):
             literal = self._direct[(var.name, value)]
-            self._initial_activity[literal] = weight + 0.5 * (span - rank) / span
+            items.append(
+                (literal, weight + 0.5 * (span - rank) / span)
+            )
 
     def variables(self) -> List[IntVar]:
         return list(self._vars.values())
@@ -138,23 +201,33 @@ class FiniteDomainProblem:
 
     def _encode_domain_clauses(self, var: IntVar) -> None:
         name = var.name
+        add_clean = self.cnf.add_clause_clean
+        order_list = self._order_list[name]
         # order consistency: [x <= v] -> [x <= v+1]
-        for value in range(var.lo, var.hi - 1):
-            self.cnf.add_clause([
-                negate(self._order[(name, value)]),
-                self._order[(name, value + 1)],
-            ])
-        # channeling direct <-> order
-        for value in var.domain:
-            direct = self._direct[(name, value)]
-            le_v = self.le_literal(var, value)
-            le_prev = self.le_literal(var, value - 1)
+        for index in range(len(order_list) - 1):
+            add_clean([-order_list[index], order_list[index + 1]])
+        # channeling direct <-> order; the boundary literals are constant
+        # (le(hi) is TRUE, le(lo-1) is FALSE), so those clauses simplify
+        direct_list = self._direct_list[name]
+        for rank, direct in enumerate(direct_list):
+            le_v = order_list[rank] if rank < len(order_list) else TRUE_LIT
+            le_prev = order_list[rank - 1] if rank > 0 else FALSE_LIT
             # direct -> (x <= v) and direct -> not (x <= v-1)
-            self.cnf.add_clause([negate(direct), le_v])
-            self.cnf.add_clause([negate(direct), negate(le_prev)])
+            if le_v is not TRUE_LIT:
+                add_clean([-direct, le_v])
+            if le_prev is not FALSE_LIT:
+                add_clean([-direct, -le_prev])
             # (x <= v) and not (x <= v-1) -> direct
-            self.cnf.add_clause([negate(le_v), le_prev, direct])
-        exactly_one(self.cnf, [self._direct[(name, v)] for v in var.domain])
+            if le_v is TRUE_LIT:
+                if le_prev is FALSE_LIT:
+                    self.cnf.add_clause([direct])
+                else:
+                    add_clean([le_prev, direct])
+            elif le_prev is FALSE_LIT:
+                add_clean([-le_v, direct])
+            else:
+                add_clean([-le_v, le_prev, direct])
+        exactly_one(self.cnf, direct_list)
 
     # ------------------------------------------------------------------ #
     # Literal accessors
@@ -163,7 +236,7 @@ class FiniteDomainProblem:
         """The literal ``[var == value]`` (FALSE if outside the domain)."""
         if value < var.lo or value > var.hi:
             return FALSE_LIT
-        return self._direct[(var.name, value)]
+        return self._direct_list[var.name][value - var.lo]
 
     def le_literal(self, var: IntVar, value: int):
         """The literal ``[var <= value]`` (constant outside the domain)."""
@@ -171,7 +244,7 @@ class FiniteDomainProblem:
             return FALSE_LIT
         if value >= var.hi:
             return TRUE_LIT
-        return self._order[(var.name, value)]
+        return self._order_list[var.name][value - var.lo]
 
     def ge_literal(self, var: IntVar, value: int):
         """The literal ``[var >= value]``."""
@@ -217,12 +290,16 @@ class FiniteDomainProblem:
         Encoded over order literals: for every value ``t`` of ``y``,
         ``[y <= t] -> [x <= t - delta]``.
         """
+        add_clean = self.cnf.add_clause_clean
         for t in range(y.lo, y.hi + 1):
             lhs = self.le_literal(y, t)
             rhs = self.le_literal(x, t - delta)
-            if rhs == TRUE_LIT:
+            if rhs is TRUE_LIT:
                 continue
-            self.cnf.add_clause([negate(lhs), rhs])
+            if type(lhs) is int and type(rhs) is int and lhs != rhs:
+                add_clean([-lhs, rhs])
+            else:
+                self.cnf.add_clause([negate(lhs), rhs])
 
     def add_le(self, x: IntVar, y: IntVar, delta: int = 0) -> None:
         """Enforce ``x + delta <= y``."""
@@ -282,15 +359,46 @@ class FiniteDomainProblem:
     def _sync_solver(self) -> SATSolver:
         """Create or incrementally update the underlying SAT solver."""
         if self._solver is None:
-            self._solver = SATSolver()
+            self._solver = self._solver_cls(perf=self.perf)
             self._solver_clause_count = 0
+            self._pref_synced = 0
+            self._activity_synced = 0
         self._solver.ensure_vars(self.cnf.num_vars)
-        for literal in self._preferred_true:
-            self._solver.phase[literal] = True
-        for literal, activity in self._initial_activity.items():
-            self._solver.boost_activity(literal, activity)
-        for clause in self.cnf.clauses[self._solver_clause_count:]:
-            self._solver.add_clause(clause)
+        # Direct literals branch positive so the search labels values (see
+        # new_int). The initial phase is re-asserted on purpose: saved
+        # phases from a previous solve would otherwise steer enumeration,
+        # and the value-labelling bias is the faster regime on scheduling
+        # instances. The full sweep only runs when a solve (or pop) has
+        # actually flipped phases since the last sync; otherwise just the
+        # literals created since then are initialised.
+        phase = self._solver.phase
+        if self.legacy_sync:
+            for literal in self._preferred_true:
+                phase[literal] = True
+            boost = self._solver.boost_activity
+            for literal, activity in self._initial_activity:
+                boost(literal, activity)
+            self._phases_dirty = False
+        else:
+            if self._phases_dirty:
+                for literal in self._preferred_true:
+                    phase[literal] = True
+                self._phases_dirty = False
+            else:
+                for literal in self._preferred_true[self._pref_synced:]:
+                    phase[literal] = True
+            self._pref_synced = len(self._preferred_true)
+            activity_items = self._initial_activity
+            if self._activity_synced < len(activity_items):
+                boost = self._solver.boost_activity
+                for literal, activity in activity_items[self._activity_synced:]:
+                    boost(literal, activity)
+                self._activity_synced = len(activity_items)
+        backlog = self.cnf.clauses[self._solver_clause_count:]
+        if backlog:
+            # CNF clauses are already deduplicated, tautology-free and
+            # variable-allocated: take the solver's bulk path.
+            self._solver.add_clauses(backlog)
         self._solver_clause_count = len(self.cnf.clauses)
         if self.cnf.contradiction:
             self._solver.ok = False
@@ -322,20 +430,37 @@ class FiniteDomainProblem:
         num_clauses, contradiction, sizes, num_vars = self._push_stack.pop()
         if self._solver is not None:
             self._solver.pop()
+            self._phases_dirty = True  # the trail unwind saved phases
         del self.cnf.clauses[num_clauses:]
         self.cnf.contradiction = contradiction
         self._solver_clause_count = num_clauses
+        # keys are only ever appended, so a scope's entries are the dict
+        # tail: popitem() retracts them in O(scope) instead of listing
+        # every key
+        while len(self._vars) > sizes[0]:
+            name, _ = self._vars.popitem()
+            del self._direct_list[name]
+            del self._order_list[name]
         for mapping, size in zip(
-            (self._vars, self._direct, self._order, self._mod_indicator),
-            sizes,
+            (self._direct, self._order, self._mod_indicator), sizes[1:]
         ):
-            for key in list(mapping.keys())[size:]:
-                del mapping[key]
+            while len(mapping) > size:
+                mapping.popitem()
         del self._preferred_true[sizes[4]:]
-        for literal in [
-            lit for lit in self._initial_activity if lit > num_vars
-        ]:
-            del self._initial_activity[literal]
+        self._pref_synced = min(self._pref_synced, len(self._preferred_true))
+        activity = self._initial_activity
+        if self._activity_ordered:
+            while activity and activity[-1][0] > num_vars:
+                activity.pop()
+        else:
+            # an out-of-order prioritize() broke the ascending-literal
+            # invariant: filter instead of truncating (rare, cold path)
+            activity[:] = [
+                entry for entry in activity if entry[0] <= num_vars
+            ]
+            self._activity_ordered = True
+            self._activity_synced = 0  # conservatively re-sync everything
+        self._activity_synced = min(self._activity_synced, len(activity))
         self.cnf.pool.rollback(num_vars)
 
     @staticmethod
@@ -374,16 +499,32 @@ class FiniteDomainProblem:
         if impossible:
             return SolveResult(SolveStatus.UNSAT)
         solver = self._sync_solver()
-        return solver.solve(
+        result = solver.solve(
             timeout_seconds=timeout_seconds, assumptions=literals
         )
+        # the search saves phases as it goes; the next sync must restore
+        # the value-labelling bias over the whole direct-literal set
+        self._phases_dirty = True
+        return result
 
     def _extract(self, result: SolveResult) -> FDSolution:
         values: Dict[str, int] = {}
+        model = result.model if result.model is not None else {}
+        # the arena kernel hands back a snapshot-backed model whose value
+        # vector can be indexed directly (C speed); fall back to mapping
+        # lookups for plain dict models (reference kernel, brute force)
+        snapshot = getattr(model, "vals", None)
+        get = model.get
         for var in self._vars.values():
-            assigned = [
-                v for v in var.domain if result.value(self._direct[(var.name, v)])
-            ]
+            lits = self._direct_list[var.name]
+            if snapshot is not None:
+                assigned = [
+                    v for v, lit in zip(var.domain, lits) if snapshot[lit] > 0
+                ]
+            else:
+                assigned = [
+                    v for v, lit in zip(var.domain, lits) if get(lit, False)
+                ]
             if len(assigned) != 1:
                 raise RuntimeError(
                     f"inconsistent model for {var.name}: values {assigned}"

@@ -1,0 +1,163 @@
+"""Tests for the repro.perf subsystem and its surfaces.
+
+Covers: PerfCounters accounting through both mapping engines
+(``MappingResult.stats``), detailed in-loop attribution under
+``config.profile``, the ``repro-map profile`` CLI command, the batch-cache
+header record, and the memoized ``Schedule.slot_population``.
+"""
+
+import json
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.baseline.satmapit import SatMapItMapper
+from repro.cli import main as cli_main
+from repro.core.config import BaselineConfig, MapperConfig
+from repro.core.mapper import MonomorphismMapper
+from repro.core.time_solver import TimeSolver
+from repro.experiments.batch import BatchRunner, build_cases
+from repro.perf import PerfCounters, timed
+from repro.smt.sat import SATSolver
+from repro.workloads.suite import load_benchmark
+
+
+class TestPerfCounters:
+    def test_timed_accumulates_and_tolerates_none(self):
+        perf = PerfCounters()
+        with timed(perf, "encode_seconds"):
+            pass
+        assert perf.encode_seconds >= 0.0
+        with timed(None, "encode_seconds"):
+            pass  # no-op, must not raise
+
+    def test_solver_folds_counters_into_perf(self):
+        perf = PerfCounters()
+        solver = SATSolver(perf=perf)
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a, b])
+        assert solver.solve().is_sat
+        assert perf.solve_calls == 1
+        assert perf.propagations >= 0
+        assert perf.solve_seconds > 0.0
+
+    def test_as_dict_detail_gating(self):
+        plain = PerfCounters().as_dict()
+        assert "propagate" not in plain["seconds"]
+        detailed = PerfCounters(detailed=True).as_dict()
+        assert "propagate" in detailed["seconds"]
+        assert "reduce" in detailed["seconds"]
+
+
+class TestMappingResultStats:
+    def test_decoupled_engine_populates_stats(self):
+        result = MonomorphismMapper(CGRA(4, 4), MapperConfig()).map(
+            load_benchmark("bitcount"))
+        assert result.success
+        stats = result.stats
+        assert stats is not None
+        assert stats["engine"] == "monomorphism"
+        assert stats["backend"] == "arena"
+        assert stats["solver"]["propagations"] > 0
+        assert stats["seconds"]["encode"] > 0.0
+        assert stats["space"]["calls"] >= 1
+        assert not stats["detailed"]
+        assert "propagate" not in stats["seconds"]
+
+    def test_baseline_engine_populates_stats_with_detail(self):
+        result = SatMapItMapper(
+            CGRA(4, 4), BaselineConfig(profile=True)
+        ).map(load_benchmark("bitcount"))
+        assert result.success
+        stats = result.stats
+        assert stats["engine"] == "satmapit"
+        assert stats["detailed"]
+        assert stats["solver"]["solve_calls"] >= 1
+        assert stats["seconds"]["propagate"] >= 0.0
+
+    def test_infeasible_result_still_carries_stats(self):
+        from repro.arch.spec import build_preset
+
+        cgra = build_preset("mul_free_torus", 4, 4).build()
+        result = MonomorphismMapper(cgra, MapperConfig()).map(
+            load_benchmark("fft"))
+        assert not result.success
+        assert result.stats is not None
+
+
+class TestProfileCLI:
+    def test_profile_command_emits_json(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        code = cli_main([
+            "profile", "bitcount", "--cgra", "4x4", "--json", str(out),
+        ])
+        assert code == 0
+        records = json.loads(out.read_text())
+        assert len(records) == 1
+        record = records[0]
+        assert record["benchmark"] == "bitcount"
+        assert record["status"] == "success"
+        assert record["stats"]["detailed"]
+        assert "propagate" in record["stats"]["seconds"]
+        assert record["stats"]["solver"]["propagations"] > 0
+        rendered = capsys.readouterr().out
+        assert "Profile" in rendered and "bitcount" in rendered
+
+    def test_profile_command_baseline_reference_backend(self, capsys):
+        code = cli_main([
+            "profile", "bitcount", "--cgra", "3x3",
+            "--approach", "baseline", "--solver-backend", "reference",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        records = json.loads(out[out.index("["):])
+        assert records[0]["approach"] == "satmapit"
+        assert records[0]["stats"]["backend"] == "reference"
+
+    def test_profile_command_rejects_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            cli_main(["profile", "definitely-not-a-benchmark"])
+
+
+class TestBatchCacheHeader:
+    def test_header_records_job_count_and_cache_still_hits(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        cases = build_cases(["bitcount"], ["2x2"], ["monomorphism"], 60.0)
+        first = BatchRunner(jobs=2, cache_path=str(cache)).run(cases)
+        assert first.executed == 1
+        lines = [json.loads(line) for line in
+                 cache.read_text().splitlines() if line.strip()]
+        assert lines[0]["header"]["jobs"] == 2
+        assert lines[0]["header"]["cases"] == 1
+        # a second run must hit the cache despite the header line
+        second = BatchRunner(jobs=3, cache_path=str(cache)).run(cases)
+        assert second.cache_hits == 1
+        assert second.executed == 0
+
+    def test_sweep_and_drivers_default_jobs_to_cpu_count(self):
+        import os
+
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["sweep", "--benchmarks", "bitcount"])
+        assert args.jobs == (os.cpu_count() or 1)
+
+
+class TestScheduleMemoization:
+    def test_slot_population_is_cached_and_stable(self):
+        dfg = load_benchmark("bitcount")
+        solver = TimeSolver(dfg, CGRA(4, 4), ii=3)
+        schedule = solver.solve(timeout_seconds=30)
+        assert schedule is not None
+        first = schedule.slot_population()
+        assert schedule.slot_population() is first  # memoized object
+        assert schedule.max_slot_population() == max(len(s) for s in first)
+        # the cached populations agree with a fresh computation
+        recomputed = [set() for _ in range(schedule.ii)]
+        for node_id, start in schedule.start_times.items():
+            recomputed[start % schedule.ii].add(node_id)
+        assert list(first) == recomputed
+        # immutable: callers cannot corrupt the shared cache in place
+        with pytest.raises(AttributeError):
+            first[0].add(999)

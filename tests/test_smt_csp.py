@@ -172,3 +172,25 @@ class TestEnumeration:
         solution = problem.solve()
         assert solution[x] == 2
         assert solution.as_dict() == {"x": 2}
+
+    def test_out_of_order_prioritize_survives_pop(self):
+        # prioritize() on a pre-scope variable *after* creating a
+        # scope-local one breaks the ascending-literal order of the
+        # activity seed list; pop() must still retract exactly the
+        # scope-local entries (and the next solve must not crash boosting
+        # a rolled-back literal)
+        problem = FiniteDomainProblem()
+        x = problem.new_int("x", 0, 3)
+        problem.push()
+        y = problem.new_int("y", 0, 3)
+        problem.prioritize(y, weight=1.0)
+        problem.prioritize(x, weight=9.0)  # out of order on purpose
+        assert problem.solve() is not None
+        problem.pop()
+        solution = problem.solve()
+        assert solution is not None and solution.value(x) in range(4)
+        # x's late re-prioritization was not scope-local: it survives
+        assert any(lit <= problem.num_sat_variables
+                   for lit, _ in problem._initial_activity)
+        assert all(lit <= problem.num_sat_variables
+                   for lit, _ in problem._initial_activity)
