@@ -311,11 +311,18 @@ class SatMapItMapper:
             result.stats = perf.as_dict()
             return result
 
+        # per-II attribution mirroring the decoupled engine's (the coupled
+        # search has no space phase; everything is solver time)
+        per_ii: List[Dict[str, object]] = []
+        perf.extra["per_ii"] = per_ii
+
         for ii in range(mii, max_ii + 1):
             result.iis_tried += 1
             mapped = False
             timed_out = False
             attempted_slacks = set()
+            ii_started = time.monotonic()
+            schedules_before = result.schedules_tried
             for slack in self.config.slack_candidates():
                 eff_slack = encoding.effective_slack(slack)
                 if eff_slack in attempted_slacks:
@@ -352,6 +359,12 @@ class SatMapItMapper:
                 result.ii = ii
                 mapped = True
                 break
+            per_ii.append({
+                "ii": ii,
+                "time": round(time.monotonic() - ii_started, 6),
+                "space": 0.0,
+                "schedules": result.schedules_tried - schedules_before,
+            })
             if mapped or timed_out:
                 break
 

@@ -6,6 +6,9 @@ Subcommands::
     repro-map map --benchmark crc32 --cgra 4x4
     repro-map map --benchmark fft --arch memory_column_mesh --cgra 4x4
     repro-map map --benchmark aes --cgra 4x4 --opt-level O2
+    repro-map map --benchmark cfd --cgra 10x10 --approach heuristic \
+        --budget 10 --seed 7
+    repro-map map --benchmark gsm --cgra 4x4 --approach portfolio
     repro-map map --kernel-example dot_product --cgra 5x5 --simulate
     repro-map map --kernel-file my_loop.k --cgra 8x8 --json mapping.json
     repro-map arch list                    # architecture presets
@@ -36,9 +39,12 @@ import sys
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.arch.spec import ArchSpec, preset_names, resolve_arch
-from repro.baseline.satmapit import SatMapItMapper
-from repro.core.config import BaselineConfig, MapperConfig
-from repro.core.mapper import MonomorphismMapper
+from repro.core.engine import (
+    ENGINE_DESCRIPTIONS,
+    ENGINE_NAMES,
+    create_engine,
+    engine_choices,
+)
 from repro.experiments import (
     ablation,
     arch_sweep,
@@ -48,7 +54,11 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.batch import BatchRunner, build_cases
-from repro.experiments.runner import build_cgra_from_arch, parse_size
+from repro.experiments.runner import (
+    build_cgra_from_arch,
+    normalize_approach,
+    parse_size,
+)
 from repro.frontend import EXAMPLE_KERNELS, extract_dfg
 from repro.opt.pipeline import MAX_OPT_LEVEL, pass_names
 from repro.reporting.tables import Table, format_seconds
@@ -71,6 +81,9 @@ def _catalog() -> Iterator[Tuple[str, str, str]]:
         yield ("arch preset", name, "size-parametric fabric (--arch)")
     for name in pass_names():
         yield ("opt pass", name, "pre-mapping DFG pass (--passes)")
+    for name in ENGINE_NAMES:
+        yield ("approach", name,
+               f"{ENGINE_DESCRIPTIONS[name]} (--approach)")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -103,32 +116,33 @@ def _cmd_map(args: argparse.Namespace) -> int:
     dfg, program = _load_dfg(args)
     cgra = build_cgra_from_arch(args.cgra, args.arch)
     fabric = "" if cgra.is_homogeneous else ", heterogeneous"
+    approach = "satmapit" if args.baseline else args.approach
     print(f"Mapping {dfg.name!r} ({dfg.num_nodes} nodes, {dfg.num_edges} edges) "
-          f"onto a {cgra.size_label} CGRA ({cgra.topology}{fabric})")
+          f"onto a {cgra.size_label} CGRA ({cgra.topology}{fabric}) "
+          f"with the {normalize_approach(approach)} engine")
 
     opt_passes = tuple(args.passes) if args.passes else None
-    if args.baseline:
-        mapper = SatMapItMapper(
-            cgra, BaselineConfig(timeout_seconds=args.timeout,
-                                 total_timeout_seconds=args.timeout,
-                                 opt_level=args.opt_level,
-                                 opt_passes=opt_passes)
-        )
-    else:
-        mapper = MonomorphismMapper(
-            cgra,
-            MapperConfig(
-                time_timeout_seconds=args.timeout,
-                space_timeout_seconds=args.timeout,
-                total_timeout_seconds=args.timeout,
-                opt_level=args.opt_level,
-                opt_passes=opt_passes,
-            ),
-        )
+    mapper = create_engine(
+        approach,
+        cgra,
+        timeout_seconds=args.timeout,
+        budget_seconds=args.budget,
+        seed=args.seed,
+        opt_level=args.opt_level,
+        opt_passes=opt_passes,
+        solver_backend=args.solver_backend,
+    )
     result = mapper.map(dfg)
     if result.opt is not None:
         print(result.opt.summary())
     print(result.summary())
+    stats = result.stats or {}
+    for outcome in stats.get("portfolio", ()):
+        marker = "*" if outcome["engine"] == stats.get("winner") else " "
+        seconds = outcome["total_seconds"]
+        print(f"  {marker} {outcome['engine']}: {outcome['status']}"
+              + (f" II={outcome['ii']}" if outcome["ii"] is not None else "")
+              + (f" in {seconds:.3f}s" if seconds is not None else ""))
     if not result.success:
         return 1
 
@@ -190,7 +204,6 @@ def _cmd_arch(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Profile benchmarks and emit the per-phase timing/counter JSON."""
     from repro.perf.profile import profile_benchmarks
-    from repro.experiments.runner import normalize_approach
 
     for name in args.benchmarks:
         if name not in ("running_example", "example"):
@@ -204,6 +217,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         opt_level=args.opt_level,
         opt_passes=tuple(args.passes) if args.passes else None,
         solver_backend=args.solver_backend,
+        seed=args.seed,
     )
     table = Table(
         headers=["Benchmark", "Status", "II", "Encode", "Solve", "Propagate",
@@ -262,7 +276,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     opt_passes = tuple(args.passes) if args.passes else None
     cases = build_cases(benchmarks, sizes, approaches, args.timeout,
                         arch=args.arch, opt_level=args.opt_level,
-                        opt_passes=opt_passes)
+                        opt_passes=opt_passes,
+                        solver_backend=args.solver_backend, seed=args.seed)
     progress = None if args.quiet else print
     runner = BatchRunner(jobs=args.jobs, cache_path=args.cache,
                          progress=progress)
@@ -270,8 +285,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     arch_column = args.arch is not None
     opt_column = bool(cases and (cases[0].opt_level or cases[0].opt_passes))
+    # --solver-backend is a scenario axis: surface it whenever the sweep
+    # pins a non-default kernel or runs a stochastic (seeded) engine
+    backend_column = args.solver_backend is not None
+    seed_column = any(result.seed is not None for result in report.results)
     headers = ["Benchmark", "CGRA", "Approach", "Status", "II", "mII",
                "Time", "Space", "Total"]
+    if seed_column:
+        headers.insert(3, "Seed")
+    if backend_column:
+        headers.insert(3, "Backend")
     if opt_column:
         headers.insert(3, "Opt")
     if arch_column:
@@ -293,6 +316,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             format_seconds(result.space_phase_seconds),
             format_seconds(result.total_seconds),
         ]
+        if seed_column:
+            cells.insert(3, result.seed if result.seed is not None else "-")
+        if backend_column:
+            cells.insert(3, result.solver_backend or "arena")
         if opt_column:
             cells.insert(3, result.opt_passes or f"O{result.opt_level}")
         if arch_column:
@@ -337,8 +364,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="explicit optimization pass list "
                                  "overriding --opt-level "
                                  f"(available: {', '.join(pass_names())})")
+    map_parser.add_argument("--approach", default="monomorphism",
+                            choices=engine_choices(),
+                            help="mapping engine: monomorphism (exact, the "
+                                 "paper's), satmapit (exact coupled "
+                                 "baseline), heuristic (stochastic "
+                                 "anytime), or portfolio (races all three)")
+    map_parser.add_argument("--budget", type=float, default=None,
+                            help="anytime budget in seconds for the "
+                                 "heuristic engine / total budget for the "
+                                 "portfolio (default: --timeout)")
+    map_parser.add_argument("--seed", type=int, default=None,
+                            help="RNG seed for the stochastic engines "
+                                 "(default: REPRO_PROPERTY_SEED env var, "
+                                 "then the built-in constant; see "
+                                 "docs/mapping-engines.md)")
+    map_parser.add_argument("--solver-backend", default="arena",
+                            choices=["arena", "reference"],
+                            help="SAT kernel behind the exact engines")
     map_parser.add_argument("--baseline", action="store_true",
-                            help="use the SAT-MapIt-style coupled baseline")
+                            help="use the SAT-MapIt-style coupled baseline "
+                                 "(alias for --approach satmapit)")
     map_parser.add_argument("--simulate", action="store_true",
                             help="run the mapping on the cycle-level simulator "
                                  "and compare against the reference")
@@ -406,9 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--arch", default=None,
                                 help="architecture preset or arch-spec JSON")
     profile_parser.add_argument("--approach", default="monomorphism",
-                                choices=["monomorphism", "mono", "decoupled",
-                                         "satmapit", "baseline"],
+                                choices=engine_choices(),
                                 help="mapping engine to profile")
+    profile_parser.add_argument("--seed", type=int, default=None,
+                                help="RNG seed for the stochastic engines")
     profile_parser.add_argument("--solver-backend", default="arena",
                                 choices=["arena", "reference"],
                                 help="SAT kernel (reference = pre-rewrite "
@@ -435,9 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="CGRA sizes, e.g. 2x2 5x5 10x10")
     sweep_parser.add_argument("--approaches", nargs="+",
                               default=["monomorphism"],
-                              choices=["monomorphism", "mono", "decoupled",
-                                       "satmapit", "baseline"],
-                              help="mapper approaches to run")
+                              choices=engine_choices(),
+                              help="mapper approaches to run (any of "
+                                   f"{', '.join(ENGINE_NAMES)})")
     sweep_parser.add_argument("--arch", default=None,
                               help="architecture preset or arch-spec JSON "
                                    "path applied to every case (default: "
@@ -450,6 +497,17 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="PASS",
                               help="explicit optimization pass list "
                                    "overriding --opt-level")
+    sweep_parser.add_argument("--solver-backend", default=None,
+                              choices=["arena", "reference"],
+                              help="SAT kernel scenario column: pin the "
+                                   "kernel behind the exact engines "
+                                   "(default: arena; part of the batch "
+                                   "cache key)")
+    sweep_parser.add_argument("--seed", type=int, default=None,
+                              help="RNG seed for heuristic/portfolio cases "
+                                   "(default: REPRO_PROPERTY_SEED env var, "
+                                   "then the built-in constant; part of "
+                                   "the batch cache key)")
     sweep_parser.add_argument("--timeout", type=float, default=60.0,
                               help="per-case soft timeout in seconds")
     sweep_parser.add_argument("--jobs", type=int,

@@ -16,7 +16,21 @@ The mapping flow (paper Sec. IV) is:
 check against all paper properties (mono1/2/3 plus dependence timing).
 """
 
-from repro.core.config import MapperConfig
+from repro.core.config import (
+    BaselineConfig,
+    HeuristicConfig,
+    MapperConfig,
+    PortfolioConfig,
+)
+from repro.core.engine import (
+    ENGINE_ALIASES,
+    ENGINE_DESCRIPTIONS,
+    ENGINE_NAMES,
+    Engine,
+    create_engine,
+    engine_choices,
+    normalize_engine,
+)
 from repro.core.feasibility import (
     FeasibilityReport,
     analyze_feasibility,
@@ -36,7 +50,17 @@ from repro.core.mapper import MonomorphismMapper, MappingResult, MappingStatus
 from repro.core.validation import validate_mapping, assert_valid_mapping
 
 __all__ = [
+    "BaselineConfig",
+    "HeuristicConfig",
     "MapperConfig",
+    "PortfolioConfig",
+    "ENGINE_ALIASES",
+    "ENGINE_DESCRIPTIONS",
+    "ENGINE_NAMES",
+    "Engine",
+    "create_engine",
+    "engine_choices",
+    "normalize_engine",
     "FeasibilityReport",
     "analyze_feasibility",
     "heterogeneous_res_ii",

@@ -8,6 +8,15 @@ from typing import Optional, Tuple, Union
 from repro.arch.mrrg import TimeAdjacency
 
 
+#: schedule-horizon extension ladder shared by every engine's retry loop
+_SLACK_EXTRAS = (0, 1, 2, 4, 8, 16)
+
+
+def _slack_candidates(slack: int, max_extra_slack: int) -> list:
+    """Horizon extensions tried for one II, in order (all engines)."""
+    return [slack + e for e in _SLACK_EXTRAS if e <= max_extra_slack]
+
+
 def _normalize_opt(config) -> None:
     """Shared validation of the ``opt_level`` / ``opt_passes`` knobs.
 
@@ -117,8 +126,126 @@ class MapperConfig:
 
     def slack_candidates(self) -> list:
         """Schedule-horizon extensions tried for one II, in order."""
-        extras = [0, 1, 2, 4, 8, 16]
-        return [self.slack + e for e in extras if e <= self.max_extra_slack]
+        return _slack_candidates(self.slack, self.max_extra_slack)
+
+
+@dataclass
+class HeuristicConfig:
+    """Knobs of :class:`repro.heuristic.engine.HeuristicMapper`.
+
+    The heuristic engine is *anytime*: it searches II ascending from mII
+    under the wall-clock ``budget_seconds`` and always returns the best
+    valid mapping found so far (validated like the exact engines'). It is
+    stochastic but fully reproducible: every random draw flows from
+    ``seed`` (resolved through
+    :func:`repro.heuristic.engine.resolve_seed`, which honours the
+    ``REPRO_PROPERTY_SEED`` environment variable when no explicit seed is
+    given).
+
+    Attributes:
+        max_ii: largest II to try; ``None`` means "critical path plus
+            slack", matching the exact engines.
+        slack / max_extra_slack: schedule-horizon extension policy, same
+            semantics as :class:`MapperConfig` (the list scheduler retries
+            a failed II with progressively longer horizons before bumping
+            II).
+        budget_seconds: the anytime wall-clock budget of one ``map()``.
+        seed: RNG seed; ``None`` resolves via ``REPRO_PROPERTY_SEED`` or
+            the built-in default, so runs are reproducible by default.
+        schedules_per_ii: list-scheduler restarts (with re-jittered
+            priorities) attempted per (II, slack) before bumping II.
+        placements_per_schedule: independent annealing runs per schedule.
+        moves_per_node: simulated-annealing move budget, scaled by the
+            DFG node count.
+        validate: run the full validator on every candidate mapping (the
+            engine refuses to return a mapping that fails it either way;
+            this flag additionally raises instead of retrying).
+        opt_level / opt_passes: the shared pre-mapping pipeline.
+        profile: include detailed per-phase attribution in the stats.
+    """
+
+    max_ii: Optional[int] = None
+    slack: int = 0
+    max_extra_slack: int = 8
+    budget_seconds: float = 30.0
+    seed: Optional[int] = None
+    schedules_per_ii: int = 8
+    placements_per_schedule: int = 2
+    moves_per_node: int = 400
+    validate: bool = True
+    opt_level: Union[int, str] = 0
+    opt_passes: Optional[Tuple[str, ...]] = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slack < 0:
+            raise ValueError("slack must be non-negative")
+        if self.max_extra_slack < 0:
+            raise ValueError("max_extra_slack must be non-negative")
+        if self.budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        if self.schedules_per_ii < 1:
+            raise ValueError("schedules_per_ii must be >= 1")
+        if self.placements_per_schedule < 1:
+            raise ValueError("placements_per_schedule must be >= 1")
+        if self.moves_per_node < 1:
+            raise ValueError("moves_per_node must be >= 1")
+        if self.max_ii is not None and self.max_ii < 1:
+            raise ValueError("max_ii must be >= 1")
+        _normalize_opt(self)
+
+    def slack_candidates(self) -> list:
+        """Schedule-horizon extensions tried for one II, in order."""
+        return _slack_candidates(self.slack, self.max_extra_slack)
+
+
+@dataclass
+class PortfolioConfig:
+    """Knobs of :class:`repro.heuristic.portfolio.PortfolioMapper`.
+
+    Attributes:
+        engines: engine names raced, in priority order (aliases accepted).
+        budget_seconds: *total* budget of one ``map()`` call; divided
+            evenly between the engines in sequential mode, granted to each
+            engine in parallel mode (they run concurrently).
+        parallel: race the engines in worker processes instead of running
+            them back to back; the race short-circuits as soon as one
+            engine proves optimality (``II == mII``).
+        seed / opt_level / opt_passes / solver_backend / validate /
+            profile: forwarded to the member engines (the seed only
+            matters to the heuristic one).
+    """
+
+    engines: Tuple[str, ...] = ("heuristic", "monomorphism", "satmapit")
+    budget_seconds: float = 60.0
+    parallel: bool = False
+    seed: Optional[int] = None
+    opt_level: Union[int, str] = 0
+    opt_passes: Optional[Tuple[str, ...]] = None
+    solver_backend: str = "arena"
+    validate: bool = True
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.core.engine import normalize_engine
+
+        if self.budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        if not self.engines:
+            raise ValueError("a portfolio needs at least one engine")
+        normalized = tuple(normalize_engine(name) for name in self.engines)
+        if "portfolio" in normalized:
+            raise ValueError("a portfolio cannot contain itself")
+        if len(set(normalized)) != len(normalized):
+            raise ValueError(f"duplicate engines in portfolio: {normalized}")
+        self.engines = normalized
+        _normalize_opt(self)
+
+    def per_engine_budget(self) -> float:
+        """Soft budget granted to each member engine."""
+        if self.parallel:
+            return self.budget_seconds
+        return self.budget_seconds / len(self.engines)
 
 
 @dataclass
@@ -155,5 +282,4 @@ class BaselineConfig:
 
     def slack_candidates(self) -> list:
         """Schedule-horizon extensions tried for one II, in order."""
-        extras = [0, 1, 2, 4, 8, 16]
-        return [self.slack + e for e in extras if e <= self.max_extra_slack]
+        return _slack_candidates(self.slack, self.max_extra_slack)

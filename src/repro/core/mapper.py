@@ -240,6 +240,11 @@ class MonomorphismMapper:
         space_timed_out = False
         time_timed_out = False
         time_timeout_message = ""
+        # per-II attribution: one record per attempted II with the time /
+        # space seconds and schedule count it consumed (surfaced through
+        # MappingResult.stats into the batch layer and the table3 report)
+        per_ii: list = []
+        perf.extra["per_ii"] = per_ii
         # One incremental time solver serves the whole mII -> II sweep: the
         # base encoding is built once and every (II, slack) attempt is a
         # retractable clause scope, carrying activities and phases across.
@@ -250,14 +255,25 @@ class MonomorphismMapper:
         )
 
         for ii in range(mii, max_ii + 1):
-            result.iis_tried += 1
             if self._total_budget_exhausted(start):
                 result.status = MappingStatus.TOTAL_TIMEOUT
                 result.message = f"total budget exhausted before II={ii}"
                 break
+            # counted only once the II is actually attempted, so
+            # iis_tried always equals len(stats["per_ii"])
+            result.iis_tried += 1
+            time_before = result.time_phase_seconds
+            space_before = result.space_phase_seconds
+            schedules_before = result.schedules_tried
             outcome, mapping, message = self._attempt_ii(
                 dfg, ii, result, start, incremental
             )
+            per_ii.append({
+                "ii": ii,
+                "time": round(result.time_phase_seconds - time_before, 6),
+                "space": round(result.space_phase_seconds - space_before, 6),
+                "schedules": result.schedules_tried - schedules_before,
+            })
             if outcome is _Outcome.MAPPED:
                 result.status = MappingStatus.SUCCESS
                 result.mapping = mapping

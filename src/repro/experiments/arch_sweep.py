@@ -24,6 +24,7 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.arch.spec import preset_names, resolve_arch
+from repro.core.engine import engine_choices
 from repro.experiments.batch import BatchCase, BatchRunner
 from repro.experiments.runner import parse_size
 from repro.reporting.tables import Table
@@ -76,8 +77,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help=f"fabrics to compare: presets {preset_names()} "
                              "or paths to arch-spec JSON files")
     parser.add_argument("--approach", default="monomorphism",
-                        choices=["monomorphism", "mono", "decoupled",
-                                 "satmapit", "baseline"],
+                        choices=engine_choices(),
                         help="mapper approach (default: decoupled)")
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="per-case soft timeout in seconds")

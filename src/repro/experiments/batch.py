@@ -18,7 +18,8 @@ provides :class:`BatchRunner`, the engine behind ``repro-map sweep`` and the
   which is true of any timeout-bounded experiment, serial or not);
 * a JSONL result cache keyed by a hash of the case configuration
   (benchmark, size, approach, timeout, architecture, opt level / pass
-  list -- extend :meth:`BatchCase.cache_key` before plumbing any further
+  list, solver backend, and -- for the stochastic engines -- the resolved
+  RNG seed; extend :meth:`BatchCase.cache_key` before plumbing any further
   mapper knob through a case, or stale entries will be served across
   configurations), so re-runs skip already-solved cases and interrupted
   sweeps resume for free;
@@ -62,6 +63,13 @@ class BatchCase:
     opt_level: int = 0
     #: explicit pass list overriding the level's schedule, if any
     opt_passes: Optional[Tuple[str, ...]] = None
+    #: SAT kernel behind the exact engines; ``None`` is the default arena
+    #: kernel (a scenario axis: ``--solver-backend`` on ``repro-map sweep``)
+    solver_backend: Optional[str] = None
+    #: RNG seed of the stochastic engines; resolved eagerly (explicit >
+    #: ``REPRO_PROPERTY_SEED`` > built-in default) for heuristic/portfolio
+    #: cases so the effective seed -- not the spelling -- keys the cache
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "approach", normalize_approach(self.approach))
@@ -72,6 +80,23 @@ class BatchCase:
         object.__setattr__(self, "opt_level", parse_opt_level(self.opt_level))
         if self.opt_passes is not None:
             object.__setattr__(self, "opt_passes", tuple(self.opt_passes))
+        if self.solver_backend == "arena":
+            # the default kernel: one configuration, one cache key,
+            # whether spelled out or omitted
+            object.__setattr__(self, "solver_backend", None)
+        if self.approach == "heuristic":
+            # the heuristic engine never touches a SAT kernel; a backend
+            # must not fragment its cache keys (the portfolio keeps it:
+            # its exact member engines do consume the kernel choice)
+            object.__setattr__(self, "solver_backend", None)
+        if self.approach in ("heuristic", "portfolio"):
+            from repro.heuristic.engine import resolve_seed
+
+            object.__setattr__(self, "seed", resolve_seed(self.seed))
+        elif self.seed is not None:
+            # the exact engines are deterministic; a seed is not part of
+            # their configuration and must not fragment their cache keys
+            object.__setattr__(self, "seed", None)
 
     def cache_key(self) -> str:
         """Stable digest of everything that determines the result.
@@ -101,6 +126,10 @@ class BatchCase:
             record["opt_level"] = self.opt_level
         if self.opt_passes:
             record["opt_passes"] = list(self.opt_passes)
+        if self.solver_backend is not None:
+            record["solver_backend"] = self.solver_backend
+        if self.seed is not None:
+            record["seed"] = self.seed
         payload = json.dumps(record, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
@@ -112,6 +141,10 @@ class BatchCase:
             base = f"{base}/passes={','.join(self.opt_passes)}"
         elif self.opt_level:
             base = f"{base}/O{self.opt_level}"
+        if self.solver_backend is not None:
+            base = f"{base}/{self.solver_backend}"
+        if self.seed is not None:
+            base = f"{base}/seed={self.seed}"
         return base
 
 
@@ -147,6 +180,7 @@ def _worker_main(case_payload: Dict[str, object], connection) -> None:
             case.benchmark, case.size, case.approach, case.timeout_seconds,
             arch=case.arch, opt_level=case.opt_level,
             opt_passes=case.opt_passes,
+            solver_backend=case.solver_backend, seed=case.seed,
         )
         connection.send(("ok", dataclasses.asdict(result)))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
@@ -294,6 +328,8 @@ class BatchRunner:
             arch=case.arch,
             opt_level=case.opt_level,
             opt_passes=",".join(case.opt_passes) if case.opt_passes else None,
+            solver_backend=case.solver_backend,
+            seed=case.seed,
         )
 
     def run(self, cases: Iterable[BatchCase]) -> BatchReport:
@@ -385,13 +421,16 @@ def build_cases(
     arch: Optional[str] = None,
     opt_level: int = 0,
     opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> List[BatchCase]:
     """The standard sweep grid, ordered size -> benchmark -> approach."""
     passes = tuple(opt_passes) if opt_passes else None
     return [
         BatchCase(benchmark=benchmark, size=size, approach=approach,
                   timeout_seconds=timeout_seconds, arch=arch,
-                  opt_level=opt_level, opt_passes=passes)
+                  opt_level=opt_level, opt_passes=passes,
+                  solver_backend=solver_backend, seed=seed)
         for size in sizes
         for benchmark in benchmarks
         for approach in approaches

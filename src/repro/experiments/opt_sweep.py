@@ -24,6 +24,7 @@ import argparse
 import json
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.engine import engine_choices
 from repro.experiments.batch import BatchCase, BatchRunner
 from repro.experiments.runner import parse_size
 from repro.opt.pipeline import opt_level_label, parse_opt_level
@@ -82,8 +83,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="levels to compare, e.g. O0 O1 O2 "
                              f"(default: {' '.join(DEFAULT_LEVELS)})")
     parser.add_argument("--approach", default="monomorphism",
-                        choices=["monomorphism", "mono", "decoupled",
-                                 "satmapit", "baseline"],
+                        choices=engine_choices(),
                         help="mapper approach (default: monomorphism)")
     parser.add_argument("--arch", default=None,
                         help="architecture preset or arch-spec JSON path")

@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.cgra import CGRA
 from repro.arch.spec import resolve_arch
 from repro.arch.topology import Topology
-from repro.core.config import BaselineConfig, MapperConfig
+from repro.core.config import (
+    BaselineConfig,
+    HeuristicConfig,
+    MapperConfig,
+    PortfolioConfig,
+)
+from repro.core.engine import ENGINE_ALIASES, normalize_engine
 from repro.core.mapper import MappingResult, MappingStatus, MonomorphismMapper
 from repro.baseline.satmapit import SatMapItMapper
 from repro.graphs.dfg import DFG
@@ -60,7 +66,7 @@ class CaseResult:
 
     benchmark: str
     cgra_size: str
-    approach: str                     # "monomorphism" or "satmapit"
+    approach: str                     # canonical engine name
     status: str
     ii: Optional[int]
     mii: int
@@ -74,6 +80,14 @@ class CaseResult:
     opt_level: int = 0                # pre-mapping optimization level
     opt_passes: Optional[str] = None  # explicit pass list ("a,b,c"), if any
     nodes_opt: Optional[int] = None   # node count after optimization
+    solver_backend: Optional[str] = None  # SAT kernel; None = default arena
+    seed: Optional[int] = None        # heuristic/portfolio RNG seed, if any
+    iis_tried: int = 0                # IIs attempted before the outcome
+    #: per-II attribution: [{"ii", "time", "space", "schedules"}, ...]
+    per_ii: Optional[List[Dict[str, object]]] = None
+    #: portfolio only: per-engine outcome records, and the winning engine
+    portfolio: Optional[List[Dict[str, object]]] = None
+    winner: Optional[str] = None
 
     @property
     def succeeded(self) -> bool:
@@ -90,7 +104,10 @@ class CaseResult:
         arch: Optional[str] = None,
         opt_level: int = 0,
         opt_passes: Optional[Sequence[str]] = None,
+        solver_backend: Optional[str] = None,
+        seed: Optional[int] = None,
     ) -> "CaseResult":
+        stats = result.stats or {}
         return cls(
             benchmark=benchmark,
             cgra_size=cgra_size,
@@ -109,6 +126,12 @@ class CaseResult:
             opt_passes=",".join(opt_passes) if opt_passes else None,
             nodes_opt=(result.opt.nodes_after
                        if result.opt is not None else None),
+            solver_backend=solver_backend,
+            seed=seed,
+            iis_tried=result.iis_tried,
+            per_ii=stats.get("per_ii"),
+            portfolio=stats.get("portfolio"),
+            winner=stats.get("winner"),
         )
 
 
@@ -116,6 +139,7 @@ def decoupled_config(
     timeout_seconds: float,
     opt_level: Union[int, str] = 0,
     opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: Optional[str] = None,
 ) -> MapperConfig:
     """Mapper configuration used by the experiments."""
     return MapperConfig(
@@ -124,6 +148,7 @@ def decoupled_config(
         total_timeout_seconds=timeout_seconds,
         opt_level=opt_level,
         opt_passes=tuple(opt_passes) if opt_passes else None,
+        solver_backend=solver_backend or "arena",
     )
 
 
@@ -131,12 +156,14 @@ def baseline_config(
     timeout_seconds: float,
     opt_level: Union[int, str] = 0,
     opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: Optional[str] = None,
 ) -> BaselineConfig:
     return BaselineConfig(
         timeout_seconds=timeout_seconds,
         total_timeout_seconds=timeout_seconds,
         opt_level=opt_level,
         opt_passes=tuple(opt_passes) if opt_passes else None,
+        solver_backend=solver_backend or "arena",
     )
 
 
@@ -145,16 +172,19 @@ def run_decoupled_case(
     arch: Optional[str] = None,
     opt_level: Union[int, str] = 0,
     opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: Optional[str] = None,
 ) -> CaseResult:
     """Run the decoupled mapper on one benchmark / CGRA size / fabric."""
     dfg = load_benchmark(benchmark)
     cgra = build_cgra_from_arch(size, arch)
-    config = decoupled_config(timeout_seconds, opt_level, opt_passes)
+    config = decoupled_config(timeout_seconds, opt_level, opt_passes,
+                              solver_backend)
     mapper = MonomorphismMapper(cgra, config)
     result = mapper.map(dfg)
     return CaseResult.from_mapping_result(
         benchmark, cgra.size_label, "monomorphism", dfg, result, arch=arch,
         opt_level=config.opt_level, opt_passes=opt_passes,
+        solver_backend=solver_backend,
     )
 
 
@@ -163,33 +193,88 @@ def run_baseline_case(
     arch: Optional[str] = None,
     opt_level: Union[int, str] = 0,
     opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: Optional[str] = None,
 ) -> CaseResult:
     """Run the SAT-MapIt-style baseline on one benchmark / CGRA size / fabric."""
     dfg = load_benchmark(benchmark)
     cgra = build_cgra_from_arch(size, arch)
-    config = baseline_config(timeout_seconds, opt_level, opt_passes)
+    config = baseline_config(timeout_seconds, opt_level, opt_passes,
+                             solver_backend)
     mapper = SatMapItMapper(cgra, config)
     result = mapper.map(dfg)
     return CaseResult.from_mapping_result(
         benchmark, cgra.size_label, "satmapit", dfg, result, arch=arch,
         opt_level=config.opt_level, opt_passes=opt_passes,
+        solver_backend=solver_backend,
     )
 
 
-APPROACHES: Dict[str, str] = {
-    "monomorphism": "monomorphism",
-    "mono": "monomorphism",
-    "decoupled": "monomorphism",
-    "satmapit": "satmapit",
-    "baseline": "satmapit",
-}
+def run_heuristic_case(
+    benchmark: str, size: str, timeout_seconds: float = 60.0,
+    arch: Optional[str] = None,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+) -> CaseResult:
+    """Run the stochastic anytime engine on one case."""
+    from repro.heuristic.engine import HeuristicMapper, resolve_seed
+
+    dfg = load_benchmark(benchmark)
+    cgra = build_cgra_from_arch(size, arch)
+    config = HeuristicConfig(
+        budget_seconds=timeout_seconds,
+        seed=seed,
+        opt_level=opt_level,
+        opt_passes=tuple(opt_passes) if opt_passes else None,
+    )
+    result = HeuristicMapper(cgra, config).map(dfg)
+    return CaseResult.from_mapping_result(
+        benchmark, cgra.size_label, "heuristic", dfg, result, arch=arch,
+        opt_level=config.opt_level, opt_passes=opt_passes,
+        seed=resolve_seed(seed),
+    )
+
+
+def run_portfolio_case(
+    benchmark: str, size: str, timeout_seconds: float = 60.0,
+    arch: Optional[str] = None,
+    opt_level: Union[int, str] = 0,
+    opt_passes: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    solver_backend: Optional[str] = None,
+) -> CaseResult:
+    """Race the engine portfolio on one case (sequential inside the worker:
+    the batch engine already parallelises across cases)."""
+    from repro.heuristic.engine import resolve_seed
+    from repro.heuristic.portfolio import PortfolioMapper
+
+    dfg = load_benchmark(benchmark)
+    cgra = build_cgra_from_arch(size, arch)
+    config = PortfolioConfig(
+        budget_seconds=timeout_seconds,
+        seed=seed,
+        opt_level=opt_level,
+        opt_passes=tuple(opt_passes) if opt_passes else None,
+        solver_backend=solver_backend or "arena",
+    )
+    result = PortfolioMapper(cgra, config).map(dfg)
+    return CaseResult.from_mapping_result(
+        benchmark, cgra.size_label, "portfolio", dfg, result, arch=arch,
+        opt_level=config.opt_level, opt_passes=opt_passes,
+        solver_backend=solver_backend, seed=resolve_seed(seed),
+    )
+
+
+#: every accepted approach spelling -> canonical engine name (kept as the
+#: historical module-level alias map; the registry lives in repro.core.engine)
+APPROACHES: Dict[str, str] = dict(ENGINE_ALIASES)
 
 
 def normalize_approach(approach: str) -> str:
-    """Canonical approach name ('monomorphism' or 'satmapit')."""
+    """Canonical approach name (one of :data:`repro.core.engine.ENGINE_NAMES`)."""
     try:
-        return APPROACHES[approach.lower()]
-    except KeyError as exc:
+        return normalize_engine(approach)
+    except ValueError as exc:
         raise ValueError(
             f"unknown approach {approach!r}; expected one of {sorted(APPROACHES)}"
         ) from exc
@@ -200,13 +285,26 @@ def run_case(
     arch: Optional[str] = None,
     opt_level: Union[int, str] = 0,
     opt_passes: Optional[Sequence[str]] = None,
+    solver_backend: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> CaseResult:
-    """Run one case of either approach (the batch engine's entry point)."""
-    runner = (run_decoupled_case
-              if normalize_approach(approach) == "monomorphism"
-              else run_baseline_case)
-    return runner(benchmark, size, timeout_seconds, arch=arch,
-                  opt_level=opt_level, opt_passes=opt_passes)
+    """Run one case of any approach (the batch engine's entry point)."""
+    canonical = normalize_approach(approach)
+    if canonical == "monomorphism":
+        return run_decoupled_case(benchmark, size, timeout_seconds, arch=arch,
+                                  opt_level=opt_level, opt_passes=opt_passes,
+                                  solver_backend=solver_backend)
+    if canonical == "satmapit":
+        return run_baseline_case(benchmark, size, timeout_seconds, arch=arch,
+                                 opt_level=opt_level, opt_passes=opt_passes,
+                                 solver_backend=solver_backend)
+    if canonical == "heuristic":
+        return run_heuristic_case(benchmark, size, timeout_seconds, arch=arch,
+                                  opt_level=opt_level, opt_passes=opt_passes,
+                                  seed=seed)
+    return run_portfolio_case(benchmark, size, timeout_seconds, arch=arch,
+                              opt_level=opt_level, opt_passes=opt_passes,
+                              seed=seed, solver_backend=solver_backend)
 
 
 def compilation_time_ratio(

@@ -92,13 +92,27 @@ def run_size_block(
     return {"size": size, "rows": rows}
 
 
+def _final_ii_seconds(case: Optional[CaseResult]) -> Optional[float]:
+    """Solver seconds spent at the final (for successes: the achieved) II.
+
+    Comes from the per-II attribution the engines record into
+    ``MappingResult.stats`` and the batch layer persists on
+    :class:`CaseResult` -- the "how much of the budget did the last II
+    burn" view the ROADMAP's solver-observability axis asked for.
+    """
+    if case is None or not case.per_ii:
+        return None
+    last = case.per_ii[-1]
+    return (last.get("time") or 0.0) + (last.get("space") or 0.0)
+
+
 def block_to_table(block: Dict[str, object]) -> Table:
     size = block["size"]
     table = Table(
         headers=[
             "Benchmark", "Nodes",
             "Time", "Space", "SAT-MapIt", "dT", "CTR",
-            "II", "II(base)", "mII",
+            "II", "II(base)", "mII", "IIs", "t@II",
             "paper II", "paper mII", "paper CTR",
         ],
         title=f"Table III block -- {size} CGRA "
@@ -127,6 +141,8 @@ def block_to_table(block: Dict[str, object]) -> Table:
             mono.ii,
             baseline.ii if baseline is not None else None,
             mono.mii,
+            mono.iis_tried or (len(mono.per_ii) if mono.per_ii else None),
+            format_seconds(_final_ii_seconds(mono)),
             paper.ii if paper else None,
             paper.mii if paper else None,
             format_ratio(paper.ctr) if paper else "-",
@@ -144,7 +160,7 @@ def block_to_table(block: Dict[str, object]) -> Table:
         format_seconds(average(baseline_totals)) if baseline_totals else "-",
         None,
         format_ratio(mean_ctr),
-        None, None, None, None, None,
+        None, None, None, None, None, None, None,
         format_ratio(PAPER_AVERAGE_CTR.get(block["size"])),
     )
     return table

@@ -1,0 +1,42 @@
+"""The stochastic anytime mapping engine and the engine portfolio.
+
+This package is the third first-class mapping backend next to the exact
+decoupled mapper (:mod:`repro.core.mapper`) and the exact coupled baseline
+(:mod:`repro.baseline.satmapit`):
+
+* :mod:`repro.heuristic.scheduler` -- a priority-based modulo list
+  scheduler (height/mobility-ordered, starting at mII) producing the same
+  :class:`~repro.core.time_solver.Schedule` objects as the SAT time phase;
+* :mod:`repro.heuristic.anneal` -- simulated-annealing placement with
+  rip-up on the MRRG, with a neighbour-aware cost (unroutable operands,
+  PE/slot overuse, op-compatibility violations);
+* :mod:`repro.heuristic.engine` -- :class:`HeuristicMapper`, the anytime
+  driver: restart-on-II-bump, seeded RNG, time-budgeted, always returning
+  the best *valid* mapping found so far;
+* :mod:`repro.heuristic.portfolio` -- :class:`PortfolioMapper`, racing
+  {monomorphism, satmapit, heuristic} under per-engine budgets.
+
+All of them satisfy the :class:`repro.core.engine.Engine` protocol.
+"""
+
+from repro.core.config import HeuristicConfig, PortfolioConfig
+from repro.heuristic.anneal import PlacementOutcome, anneal_placement
+from repro.heuristic.engine import (
+    DEFAULT_HEURISTIC_SEED,
+    HeuristicMapper,
+    resolve_seed,
+)
+from repro.heuristic.portfolio import PortfolioMapper
+from repro.heuristic.scheduler import list_schedule
+
+__all__ = [
+    "DEFAULT_HEURISTIC_SEED",
+    "HeuristicConfig",
+    "HeuristicMapper",
+    "PlacementOutcome",
+    "PortfolioConfig",
+    "PortfolioMapper",
+    "anneal_placement",
+    "list_schedule",
+    "resolve_seed",
+]

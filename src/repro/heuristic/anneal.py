@@ -1,0 +1,345 @@
+"""Simulated-annealing placement with rip-up (the heuristic space phase).
+
+Given a schedule (every node carries a kernel slot), the placement problem
+is an injective, adjacency- and op-compatibility-preserving assignment of
+nodes to PEs -- the same problem the exact space phase solves by
+monomorphism search. Here it is solved by annealing over complete (but
+possibly invalid) placements under a *neighbour-aware* cost:
+
+* **routing**: every dependence whose endpoints sit on distinct,
+  non-adjacent PEs costs its interconnect hop distance minus one (the
+  gradient pulls endpoints together instead of flat-penalising them);
+* **overuse**: every (slot, PE) pair executing more than one operation
+  costs the excess (mono1);
+* **op support**: a node on a PE that does not implement its opcode costs
+  a large constant (heterogeneous fabrics; proposals only draw from
+  compatible PEs, but swap partners are checked and charged).
+
+Cost zero is exactly validity: mono1 via overuse, mono3 via routing, op
+support explicitly; mono2 and the timing/capacity/connectivity families
+are properties of the schedule, which the list scheduler guarantees. The
+returned placement is additionally re-checked against the exact total
+cost before being declared valid, so incremental-delta drift can never
+leak an invalid placement out.
+
+Moves pick an offending node (one contributing cost) with high
+probability, and propose either a *neighbour-aware* target -- a PE
+adjacent to one of the node's placed DFG-neighbours -- or a uniform
+compatible PE; a move onto an occupied (slot, PE) becomes a swap (which
+keeps per-slot occupancy counts, hence the overuse term, unchanged). On
+stagnation the worst nodes are ripped up and greedily re-placed and the
+temperature re-warmed. Everything flows from the caller's RNG, so runs
+are reproducible under a pinned seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.core.time_solver import Schedule
+
+#: cost of one excess operation on a (slot, PE) pair
+W_OVERUSE = 4.0
+#: cost of an op-compatibility violation
+W_OP = 16.0
+#: cost per interconnect hop beyond adjacency, per dependence
+W_ROUTE = 1.0
+
+#: accepted-but-not-improving moves before a rip-up pass re-warms the search
+STALL_LIMIT = 400
+#: fraction of nodes ripped up on stagnation (at least one)
+RIPUP_FRACTION = 0.15
+#: moves between refreshes of the cached offender list
+OFFENDER_REFRESH = 8
+
+
+def hop_distances(cgra: CGRA) -> List[List[int]]:
+    """All-pairs hop distances over the PE interconnect (BFS per PE)."""
+    n = cgra.num_pes
+    unreachable = n + 1
+    table: List[List[int]] = []
+    for source in range(n):
+        dist = [unreachable] * n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            pe = queue.popleft()
+            for other in cgra.neighbors(pe):
+                if dist[other] > dist[pe] + 1:
+                    dist[other] = dist[pe] + 1
+                    queue.append(other)
+        table.append(dist)
+    return table
+
+
+@dataclass
+class PlacementOutcome:
+    """Result of one annealing run."""
+
+    placement: Optional[Dict[int, int]]  # node -> PE; None unless cost hit 0
+    cost: float
+    moves: int
+    accepted: int
+    ripups: int
+
+    @property
+    def found(self) -> bool:
+        return self.placement is not None
+
+
+class _Placer:
+    """Mutable annealing state: placement, occupancy, and cost terms."""
+
+    def __init__(self, schedule: Schedule, cgra: CGRA,
+                 distances: List[List[int]], rng: random.Random) -> None:
+        self.cgra = cgra
+        self.dist = distances
+        self.rng = rng
+        self.dfg = schedule.dfg
+        self.nodes = self.dfg.node_ids()
+        self.slot = {n: schedule.slot(n) for n in self.nodes}
+        self.edges = sorted(self.dfg.undirected_edges())
+        self.adjacency: Dict[int, List[int]] = {n: [] for n in self.nodes}
+        for a, b in self.edges:
+            self.adjacency[a].append(b)
+            self.adjacency[b].append(a)
+        self.supports: Dict[int, bool] = {}
+        self.candidates: Dict[int, Tuple[int, ...]] = {}
+        self.candidate_sets: Dict[int, FrozenSet[int]] = {}
+        for node in self.dfg.nodes():
+            supporting = cgra.supporting_pes(node.opcode)
+            self.candidates[node.id] = tuple(sorted(supporting))
+            self.candidate_sets[node.id] = supporting
+        self.pos: Dict[int, int] = {}
+        self.occupant: Dict[Tuple[int, int], List[int]] = {}
+
+    # -- cost ----------------------------------------------------------- #
+    def _route_cost(self, pe_a: int, pe_b: int) -> float:
+        if pe_a == pe_b:
+            return 0.0
+        return W_ROUTE * max(0, self.dist[pe_a][pe_b] - 1)
+
+    def _op_cost(self, node_id: int, pe: int) -> float:
+        if pe in self.candidate_sets[node_id]:
+            return 0.0
+        return W_OP
+
+    def total_cost(self) -> float:
+        """Exact global cost (used at init, after rip-up, and to confirm 0)."""
+        cost = 0.0
+        for occupants in self.occupant.values():
+            if len(occupants) > 1:
+                cost += W_OVERUSE * (len(occupants) - 1)
+        for node_id in self.nodes:
+            cost += self._op_cost(node_id, self.pos[node_id])
+        for a, b in self.edges:
+            cost += self._route_cost(self.pos[a], self.pos[b])
+        return cost
+
+    def offenders(self) -> List[int]:
+        """Nodes currently contributing cost."""
+        hot = set()
+        for occupants in self.occupant.values():
+            if len(occupants) > 1:
+                hot.update(occupants)
+        for node_id in self.nodes:
+            if self._op_cost(node_id, self.pos[node_id]) > 0.0:
+                hot.add(node_id)
+        for a, b in self.edges:
+            if self._route_cost(self.pos[a], self.pos[b]) > 0.0:
+                hot.add(a)
+                hot.add(b)
+        return sorted(hot)
+
+    def node_cost(self, node_id: int) -> float:
+        """Local cost of one node (rip-up victim selection only)."""
+        pe = self.pos[node_id]
+        cost = self._op_cost(node_id, pe)
+        occupants = self.occupant.get((self.slot[node_id], pe), ())
+        if len(occupants) > 1:
+            cost += W_OVERUSE
+        for other in self.adjacency[node_id]:
+            cost += self._route_cost(pe, self.pos[other])
+        return cost
+
+    # -- occupancy ------------------------------------------------------ #
+    def put(self, node_id: int, pe: int) -> None:
+        self.pos[node_id] = pe
+        self.occupant.setdefault((self.slot[node_id], pe), []).append(node_id)
+
+    def take(self, node_id: int) -> None:
+        pe = self.pos.pop(node_id)
+        key = (self.slot[node_id], pe)
+        occupants = self.occupant[key]
+        occupants.remove(node_id)
+        if not occupants:
+            del self.occupant[key]
+
+    # -- greedy (re)placement ------------------------------------------- #
+    def _greedy_pe(self, node_id: int) -> int:
+        """Cheapest compatible PE for one node given current placements."""
+        best_pe = None
+        best_cost = None
+        candidates = self.candidates[node_id]
+        offset = self.rng.randrange(len(candidates))
+        slot = self.slot[node_id]
+        for i in range(len(candidates)):
+            pe = candidates[(offset + i) % len(candidates)]
+            cost = W_OVERUSE * len(self.occupant.get((slot, pe), ()))
+            for other in self.adjacency[node_id]:
+                other_pe = self.pos.get(other)
+                if other_pe is not None:
+                    cost += self._route_cost(pe, other_pe)
+            if best_cost is None or cost < best_cost:
+                best_cost, best_pe = cost, pe
+                if cost == 0.0:
+                    break
+        return best_pe
+
+    def greedy_place(self, nodes: List[int]) -> None:
+        order = sorted(nodes, key=lambda n: (-len(self.adjacency[n]), n))
+        for node_id in order:
+            self.put(node_id, self._greedy_pe(node_id))
+
+    # -- move machinery -------------------------------------------------- #
+    def propose_target(self, node_id: int) -> int:
+        """Neighbour-aware proposal: near a placed DFG-neighbour, or uniform."""
+        neighbors = self.adjacency[node_id]
+        if neighbors and self.rng.random() < 0.65:
+            anchor = self.pos[self.rng.choice(neighbors)]
+            near = sorted(self.candidate_sets[node_id]
+                          & self.cgra.neighbors_or_self(anchor))
+            if near:
+                return self.rng.choice(near)
+        return self.rng.choice(self.candidates[node_id])
+
+    def move_delta(self, node_id: int, target: int,
+                   swap_with: Optional[int]) -> float:
+        """Exact cost delta of the proposed move/swap, computed *before*
+        it is applied.
+
+        A swap exchanges two occupants of one kernel slot, leaving every
+        (slot, PE) occupancy count -- and with it the overuse term --
+        unchanged. A plain move only ever targets an empty (slot, PE)
+        (occupied targets become swaps), so its overuse delta is the
+        possible relief of the source pair.
+        """
+        source = self.pos[node_id]
+        new_pos = {node_id: target}
+        if swap_with is not None:
+            new_pos[swap_with] = source
+        delta = 0.0
+        seen = set()
+        for moved, moved_new in new_pos.items():
+            moved_old = self.pos[moved]
+            delta += self._op_cost(moved, moved_new)
+            delta -= self._op_cost(moved, moved_old)
+            for other in self.adjacency[moved]:
+                key = (moved, other) if moved < other else (other, moved)
+                if key in seen:
+                    continue
+                seen.add(key)
+                other_old = self.pos[other]
+                other_new = new_pos.get(other, other_old)
+                delta += self._route_cost(moved_new, other_new)
+                delta -= self._route_cost(moved_old, other_old)
+        if swap_with is None:
+            occupants = len(self.occupant[(self.slot[node_id], source)])
+            if occupants >= 2:
+                delta -= W_OVERUSE
+        return delta
+
+    def apply(self, node_id: int, target: int,
+              swap_with: Optional[int]) -> None:
+        source = self.pos[node_id]
+        self.take(node_id)
+        if swap_with is not None:
+            self.take(swap_with)
+            self.put(swap_with, source)
+        self.put(node_id, target)
+
+
+def anneal_placement(
+    schedule: Schedule,
+    cgra: CGRA,
+    rng: random.Random,
+    distances: Optional[List[List[int]]] = None,
+    max_moves: int = 20000,
+    deadline: Optional[float] = None,
+) -> PlacementOutcome:
+    """Run one annealing pass; returns the placement iff cost reached 0."""
+    if distances is None:
+        distances = hop_distances(cgra)
+    placer = _Placer(schedule, cgra, distances, rng)
+    placer.greedy_place(list(placer.nodes))
+
+    cost = placer.total_cost()
+    temperature = max(1.0, cost / max(1, len(placer.nodes)))
+    initial_temperature = temperature
+    alpha = 0.999
+    moves = accepted = ripups = 0
+    stall = 0
+    offenders: List[int] = placer.offenders()
+
+    while cost > 1e-9 and moves < max_moves:
+        if deadline is not None and moves % 64 == 0 \
+                and time.monotonic() > deadline:
+            break
+        moves += 1
+        if moves % OFFENDER_REFRESH == 1 or not offenders:
+            offenders = placer.offenders()
+            if not offenders:
+                cost = placer.total_cost()
+                continue
+        if placer.rng.random() < 0.85:
+            node_id = placer.rng.choice(offenders)
+        else:
+            node_id = placer.rng.choice(placer.nodes)
+        target = placer.propose_target(node_id)
+        if target == placer.pos[node_id]:
+            continue
+        swap_with = None
+        occupants = placer.occupant.get((placer.slot[node_id], target))
+        if occupants:
+            swap_with = placer.rng.choice(occupants)
+            if placer.pos[node_id] not in placer.candidate_sets[swap_with]:
+                continue  # the swap would strand the partner; skip cheaply
+
+        delta = placer.move_delta(node_id, target, swap_with)
+        if delta <= 0 or placer.rng.random() < math.exp(
+                -delta / max(temperature, 1e-9)):
+            placer.apply(node_id, target, swap_with)
+            accepted += 1
+            cost += delta
+            stall = 0 if delta < 0 else stall + 1
+        else:
+            stall += 1
+        temperature *= alpha
+
+        if stall >= STALL_LIMIT:
+            ripups += 1
+            stall = 0
+            victims = sorted(
+                placer.nodes, key=lambda n: -placer.node_cost(n),
+            )[: max(1, int(len(placer.nodes) * RIPUP_FRACTION))]
+            for victim in victims:
+                placer.take(victim)
+            placer.greedy_place(victims)
+            cost = placer.total_cost()
+            offenders = placer.offenders()
+            temperature = max(temperature, initial_temperature * 0.5)
+
+    # confirm against the exact sum before declaring validity: the
+    # incremental deltas are exact by construction, but the contract of
+    # this function is "placement implies valid", so make it structural
+    if cost <= 1e-9 and placer.total_cost() == 0.0:
+        return PlacementOutcome(placement=dict(placer.pos), cost=0.0,
+                                moves=moves, accepted=accepted, ripups=ripups)
+    return PlacementOutcome(placement=None, cost=cost, moves=moves,
+                            accepted=accepted, ripups=ripups)

@@ -1,0 +1,253 @@
+"""The stochastic anytime mapping engine (`--approach heuristic`).
+
+:class:`HeuristicMapper` is the third first-class backend next to the two
+exact engines. One ``map()`` call runs, under a wall-clock budget:
+
+1. the shared pre-mapping prologue of all engines (optimization pipeline,
+   feasibility gate, op-aware mII);
+2. for each II starting at mII: up to ``schedules_per_ii`` list-scheduling
+   attempts (:func:`repro.heuristic.scheduler.list_schedule`), each with a
+   re-jittered priority order and an escalating schedule horizon, and per
+   schedule up to ``placements_per_schedule`` simulated-annealing placement
+   runs (:func:`repro.heuristic.anneal.anneal_placement`);
+3. on placement success the mapping is validated with the same
+   :func:`~repro.core.validation.validate_mapping` oracle the exact
+   engines use, recorded as the best mapping found, and -- because the II
+   sweep is ascending, so the first valid mapping is also the best one --
+   returned.
+
+The **anytime contract**: the engine never returns an invalid mapping, and
+when the budget expires it returns the best valid mapping found so far
+(``TOTAL_TIMEOUT`` with no mapping only when the budget expired before any
+II succeeded). Failing an II entirely *restarts* the search at the next II
+with a fresh deterministic RNG stream (restart-on-II-bump), so the
+behaviour at one II never depends on how much work earlier IIs consumed.
+
+**Seeding.** Every random draw descends from one integer seed, resolved by
+:func:`resolve_seed` with the precedence ``explicit argument >
+REPRO_PROPERTY_SEED environment variable > DEFAULT_HEURISTIC_SEED``. Two
+runs with the same seed, DFG, fabric and budget knobs produce the same
+mapping.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Dict, Optional
+
+from repro.arch.cgra import CGRA
+from repro.core.config import HeuristicConfig
+from repro.core.exceptions import InvalidMappingError
+from repro.core.mapper import (
+    MappingResult,
+    MappingStatus,
+    begin_mapping,
+    run_pre_mapping_opt,
+)
+from repro.core.mapping import Mapping
+from repro.core.validation import validate_mapping
+from repro.graphs.analysis import (
+    critical_path_length,
+    mobility_schedule,
+    res_ii,
+)
+from repro.graphs.dfg import DFG
+from repro.heuristic.anneal import anneal_placement, hop_distances
+from repro.heuristic.scheduler import capacity_groups, list_schedule
+from repro.perf import PerfCounters
+
+#: fallback seed when neither ``--seed`` nor ``REPRO_PROPERTY_SEED`` is set
+DEFAULT_HEURISTIC_SEED = 20260730
+
+#: priority-jitter step per restart, in priority units (mobility is worth
+#: 1000 per step there, so late restarts reorder moderately, not wildly)
+JITTER_STEP = 700.0
+
+
+def resolve_seed(explicit: Optional[int] = None) -> int:
+    """The engine-wide seed precedence, documented in docs/mapping-engines.md.
+
+    An explicit seed (the CLI's ``--seed``) wins; otherwise the
+    ``REPRO_PROPERTY_SEED`` environment variable (the same knob that pins
+    the property-test generators, so one variable pins a whole CI run);
+    otherwise :data:`DEFAULT_HEURISTIC_SEED` -- runs are reproducible by
+    default, never wall-clock seeded.
+    """
+    if explicit is not None:
+        return int(explicit)
+    env = os.environ.get("REPRO_PROPERTY_SEED")
+    if env is not None:
+        return int(env)
+    return DEFAULT_HEURISTIC_SEED
+
+
+def _attempt_rng(seed: int, ii: int, attempt: int) -> random.Random:
+    """Deterministic per-(II, attempt) RNG stream (restart-on-II-bump)."""
+    return random.Random((seed * 1_000_003 + ii) * 8_191 + attempt)
+
+
+class HeuristicMapper:
+    """Anytime list-scheduling + annealing mapper (`Engine` protocol)."""
+
+    def __init__(self, cgra: CGRA,
+                 config: Optional[HeuristicConfig] = None) -> None:
+        self.cgra = cgra
+        self.config = config if config is not None else HeuristicConfig()
+
+    # ------------------------------------------------------------------ #
+    def _max_ii(self, dfg: DFG, mii: int) -> int:
+        if self.config.max_ii is not None:
+            return max(self.config.max_ii, mii)
+        return max(mii, critical_path_length(dfg) + self.config.slack)
+
+    def map(self, dfg: DFG) -> MappingResult:
+        """Map ``dfg``; never raises for ordinary failures."""
+        dfg.validate()
+        start = time.monotonic()
+        deadline = start + self.config.budget_seconds
+        seed = resolve_seed(self.config.seed)
+        perf = PerfCounters(detailed=self.config.profile)
+        perf.extra["engine"] = "heuristic"
+        perf.extra["seed"] = seed
+
+        dfg, opt_result = run_pre_mapping_opt(dfg, self.cgra, self.config)
+        resource_ii, recurrence_ii, mii, infeasible = begin_mapping(
+            dfg, self.cgra)
+        if infeasible is not None:
+            infeasible.total_seconds = time.monotonic() - start
+            infeasible.opt = opt_result
+            if opt_result is not None:
+                infeasible.opt_seconds = opt_result.seconds
+            infeasible.stats = perf.as_dict()
+            return infeasible
+
+        result = MappingResult(
+            status=MappingStatus.NO_SOLUTION,
+            mii=mii,
+            res_ii=resource_ii,
+            rec_ii=recurrence_ii,
+            opt=opt_result,
+            opt_seconds=opt_result.seconds if opt_result is not None else 0.0,
+        )
+        max_ii = self._max_ii(dfg, mii)
+        distances = hop_distances(self.cgra)
+        groups = capacity_groups(dfg, self.cgra)
+        # like the exact time phase, the horizon must be long enough for
+        # the array to absorb all operations at all
+        needed_slack = max(
+            0, res_ii(dfg, self.cgra.num_pes) - critical_path_length(dfg))
+        mobs_cache: Dict[int, object] = {}
+        slack_list = self.config.slack_candidates()
+        moves_budget = self.config.moves_per_node * dfg.num_nodes
+
+        counters = {
+            "schedule_attempts": 0,
+            "schedule_failures": 0,
+            "sa_runs": 0,
+            "sa_moves": 0,
+            "sa_accepted": 0,
+            "sa_ripups": 0,
+            "ii_bumps": 0,
+        }
+        per_ii = []
+        perf.extra["per_ii"] = per_ii
+        perf.extra["heuristic"] = counters
+        budget_exhausted = False
+        best_mapping: Optional[Mapping] = None
+        best_ii: Optional[int] = None
+
+        for ii in range(mii, max_ii + 1):
+            if best_mapping is not None:
+                break
+            result.iis_tried += 1
+            ii_entry = {"ii": ii, "time": 0.0, "space": 0.0, "schedules": 0}
+            per_ii.append(ii_entry)
+            for attempt in range(self.config.schedules_per_ii):
+                if time.monotonic() > deadline:
+                    budget_exhausted = True
+                    break
+                rng = _attempt_rng(seed, ii, attempt)
+                eff_slack = max(
+                    slack_list[attempt % len(slack_list)], needed_slack)
+                mobs = mobs_cache.get(eff_slack)
+                if mobs is None:
+                    mobs = mobility_schedule(dfg, slack=eff_slack)
+                    mobs_cache[eff_slack] = mobs
+                jitter = JITTER_STEP * attempt
+                phase_start = time.monotonic()
+                schedule = list_schedule(
+                    dfg, self.cgra, ii, rng=rng, jitter=jitter,
+                    mobs=mobs, groups=groups,
+                )
+                elapsed = time.monotonic() - phase_start
+                result.time_phase_seconds += elapsed
+                ii_entry["time"] = round(ii_entry["time"] + elapsed, 6)
+                counters["schedule_attempts"] += 1
+                if schedule is None:
+                    counters["schedule_failures"] += 1
+                    continue
+                result.schedules_tried += 1
+                ii_entry["schedules"] += 1
+                for _ in range(self.config.placements_per_schedule):
+                    if time.monotonic() > deadline:
+                        budget_exhausted = True
+                        break
+                    phase_start = time.monotonic()
+                    outcome = anneal_placement(
+                        schedule, self.cgra, rng, distances=distances,
+                        max_moves=moves_budget, deadline=deadline,
+                    )
+                    elapsed = time.monotonic() - phase_start
+                    result.space_phase_seconds += elapsed
+                    ii_entry["space"] = round(ii_entry["space"] + elapsed, 6)
+                    counters["sa_runs"] += 1
+                    counters["sa_moves"] += outcome.moves
+                    counters["sa_accepted"] += outcome.accepted
+                    counters["sa_ripups"] += outcome.ripups
+                    perf.space_calls += 1
+                    perf.space_seconds += elapsed
+                    if not outcome.found:
+                        continue
+                    mapping = Mapping(dfg=dfg, cgra=self.cgra,
+                                      schedule=schedule,
+                                      placement=outcome.placement)
+                    violations = validate_mapping(mapping)
+                    if violations:
+                        # a zero-cost placement that fails the validator is
+                        # a bug, not a search failure -- surface it loudly
+                        # when validation is on, skip it when it is off
+                        if self.config.validate:
+                            raise InvalidMappingError(violations)
+                        continue
+                    best_mapping = mapping
+                    best_ii = ii
+                    break
+                if best_mapping is not None or budget_exhausted:
+                    break
+            if budget_exhausted:
+                break
+            if best_mapping is None:
+                counters["ii_bumps"] += 1
+
+        if best_mapping is not None:
+            result.status = MappingStatus.SUCCESS
+            result.mapping = best_mapping
+            result.ii = best_ii
+        elif budget_exhausted:
+            result.status = MappingStatus.TOTAL_TIMEOUT
+            result.message = (
+                f"anytime budget ({self.config.budget_seconds:.1f}s) "
+                f"exhausted after {result.iis_tried} II(s); no valid "
+                "mapping found yet"
+            )
+        else:
+            result.message = (
+                f"no heuristic mapping found for II in [{mii}, {max_ii}] "
+                f"({counters['schedule_attempts']} schedule attempt(s), "
+                f"{counters['sa_runs']} placement run(s))"
+            )
+        result.total_seconds = time.monotonic() - start
+        result.stats = perf.as_dict()
+        return result

@@ -1,0 +1,234 @@
+"""The engine-portfolio runner (`--approach portfolio`).
+
+:class:`PortfolioMapper` races the three first-class engines --
+monomorphism, satmapit, heuristic -- on one DFG under per-engine budgets
+and returns the best result: success beats failure, then lower II, then
+lower wall clock, then portfolio order. Racing is either
+
+* **sequential** (the default): engines run back to back, each under
+  ``budget_seconds / len(engines)``; the race short-circuits as soon as an
+  engine returns a *provably optimal* mapping (``II == mII`` -- no other
+  engine can do better, only faster, and the time is already spent), or
+
+* **process-parallel** (``PortfolioConfig.parallel``): one worker process
+  per engine, the same protocol the :class:`~repro.experiments.batch`
+  machinery uses (pipes, hard deadline, terminate on overrun), each under
+  the full ``budget_seconds``; a provably optimal result terminates the
+  remaining workers.
+
+Whatever the mode, every engine's outcome (status, II, seconds, message)
+is recorded in ``MappingResult.stats["portfolio"]`` and the winner's name
+in ``stats["winner"]``, so experiments can attribute results per engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.core.config import PortfolioConfig
+from repro.core.engine import create_engine
+from repro.core.mapper import MappingResult, MappingStatus
+from repro.graphs.dfg import DFG
+
+#: wall-clock grace on top of a parallel worker's soft budget before it is
+#: terminated (mirrors the batch engine's kill grace)
+PARALLEL_KILL_GRACE_SECONDS = 15.0
+
+
+def _outcome_record(name: str, result: Optional[MappingResult],
+                    note: str = "", status: str = "error",
+                    ) -> Dict[str, object]:
+    if result is None:
+        return {"engine": name, "status": status, "ii": None,
+                "total_seconds": None, "message": note}
+    return {
+        "engine": name,
+        "status": result.status.value,
+        "ii": result.ii,
+        "total_seconds": round(result.total_seconds, 6),
+        "message": note or result.message,
+    }
+
+
+def _better(current: Optional[MappingResult], challenger: MappingResult,
+            ) -> MappingResult:
+    """Portfolio preference order (first argument wins ties)."""
+    if current is None:
+        return challenger
+    if current.success != challenger.success:
+        return challenger if challenger.success else current
+    if current.success and challenger.success and challenger.ii != current.ii:
+        return challenger if challenger.ii < current.ii else current
+    if challenger.success and challenger.total_seconds < current.total_seconds:
+        return challenger
+    return current
+
+
+def _engine_kwargs(config: PortfolioConfig, budget: float) -> Dict[str, object]:
+    return {
+        "timeout_seconds": budget,
+        "budget_seconds": budget,
+        "seed": config.seed,
+        "opt_level": config.opt_level,
+        "opt_passes": config.opt_passes,
+        "solver_backend": config.solver_backend,
+        "profile": config.profile,
+        "validate": config.validate,
+    }
+
+
+def _portfolio_worker(name: str, dfg: DFG, cgra: CGRA,
+                      kwargs: Dict[str, object], connection) -> None:
+    """Child-process entry point of the parallel race."""
+    try:
+        engine = create_engine(name, cgra, **kwargs)
+        connection.send(("ok", engine.map(dfg)))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            connection.send(("error", repr(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        connection.close()
+
+
+class PortfolioMapper:
+    """Races the first-class engines on one DFG (`Engine` protocol)."""
+
+    def __init__(self, cgra: CGRA,
+                 config: Optional[PortfolioConfig] = None) -> None:
+        self.cgra = cgra
+        self.config = config if config is not None else PortfolioConfig()
+
+    # ------------------------------------------------------------------ #
+    def map(self, dfg: DFG) -> MappingResult:
+        """Race the portfolio; never raises for ordinary failures."""
+        dfg.validate()
+        start = time.monotonic()
+        if self.config.parallel:
+            best, outcomes, winner = self._race_parallel(dfg)
+        else:
+            best, outcomes, winner = self._race_sequential(dfg, start)
+
+        if best is None:
+            best = MappingResult(
+                status=MappingStatus.NO_SOLUTION,
+                message="every portfolio engine failed",
+            )
+        stats = dict(best.stats) if best.stats else {}
+        stats["engine"] = "portfolio"
+        stats["winner"] = winner
+        stats["portfolio"] = outcomes
+        best.stats = stats
+        best.total_seconds = time.monotonic() - start
+        return best
+
+    # ------------------------------------------------------------------ #
+    def _race_sequential(self, dfg: DFG, start: float):
+        budget = self.config.per_engine_budget()
+        outcomes: List[Dict[str, object]] = []
+        best: Optional[MappingResult] = None
+        winner: Optional[str] = None
+        for name in self.config.engines:
+            if time.monotonic() - start > self.config.budget_seconds:
+                outcomes.append({
+                    "engine": name, "status": "skipped", "ii": None,
+                    "total_seconds": None,
+                    "message": "portfolio budget exhausted",
+                })
+                continue
+            engine = create_engine(
+                name, self.cgra, **_engine_kwargs(self.config, budget))
+            result = engine.map(dfg)
+            outcomes.append(_outcome_record(name, result))
+            chosen = _better(best, result)
+            if chosen is result:
+                best, winner = result, name
+            if result.success and result.ii == result.mii:
+                # provably optimal: no engine can map at a lower II
+                break
+        return best, outcomes, winner
+
+    def _race_parallel(self, dfg: DFG):
+        budget = self.config.per_engine_budget()
+        kwargs = _engine_kwargs(self.config, budget)
+        context = multiprocessing.get_context()
+        running = {}
+        for name in self.config.engines:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_portfolio_worker,
+                args=(name, dfg, self.cgra, kwargs, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            running[name] = (process, parent_conn)
+
+        deadline = time.monotonic() + budget + PARALLEL_KILL_GRACE_SECONDS
+        results: Dict[str, MappingResult] = {}
+        errors: Dict[str, Tuple[str, str]] = {}  # name -> (status, message)
+        short_circuited = False
+        try:
+            while running:
+                finished = []
+                for name, (process, connection) in running.items():
+                    if connection.poll(0):
+                        try:
+                            kind, payload = connection.recv()
+                        except (EOFError, OSError):
+                            kind, payload = "error", "worker pipe closed"
+                        if kind == "ok":
+                            results[name] = payload
+                        else:
+                            errors[name] = ("error", str(payload))
+                        finished.append(name)
+                    elif not process.is_alive():
+                        errors[name] = (
+                            "error",
+                            f"worker exited with code {process.exitcode}")
+                        finished.append(name)
+                for name in finished:
+                    process, connection = running.pop(name)
+                    process.join(timeout=5)
+                    connection.close()
+                if any(r.success and r.ii == r.mii
+                       for r in results.values()):
+                    short_circuited = True
+                    break  # provably optimal result arrived
+                if time.monotonic() > deadline:
+                    break
+                if running and not finished:
+                    time.sleep(0.02)
+        finally:
+            for name, (process, connection) in running.items():
+                process.terminate()
+                process.join(timeout=5)
+                connection.close()
+                if short_circuited:
+                    errors.setdefault(
+                        name,
+                        ("cancelled", "another engine proved optimality"))
+                else:
+                    errors.setdefault(
+                        name,
+                        ("hard_timeout", "terminated at portfolio deadline"))
+
+        outcomes: List[Dict[str, object]] = []
+        best: Optional[MappingResult] = None
+        winner: Optional[str] = None
+        for name in self.config.engines:
+            if name in results:
+                result = results[name]
+                outcomes.append(_outcome_record(name, result))
+                chosen = _better(best, result)
+                if chosen is result:
+                    best, winner = result, name
+            else:
+                status, message = errors.get(name, ("error", "no result"))
+                outcomes.append(_outcome_record(
+                    name, None, message, status=status))
+        return best, outcomes, winner

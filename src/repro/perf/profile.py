@@ -1,9 +1,12 @@
 """The ``repro-map profile`` driver: per-benchmark per-phase attribution.
 
-Runs one mapping per requested benchmark with
-:attr:`~repro.core.config.MapperConfig.profile` enabled (detailed in-loop
-wall-clock attribution) and collects the ``MappingResult.stats`` payloads
-into one JSON-ready report. Used by the CLI; importable for scripting::
+Runs one mapping per requested benchmark with profiling enabled (detailed
+in-loop wall-clock attribution for the SAT engines, per-phase and
+per-component counters for all of them) and collects the
+``MappingResult.stats`` payloads into one JSON-ready report. Any of the
+four approaches can be profiled -- the engines are built through
+:func:`repro.core.engine.create_engine`. Used by the CLI; importable for
+scripting::
 
     from repro.perf.profile import profile_benchmarks
     report = profile_benchmarks(["aes"], size="4x4")
@@ -13,9 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.baseline.satmapit import SatMapItMapper
-from repro.core.config import BaselineConfig, MapperConfig
-from repro.core.mapper import MonomorphismMapper
+from repro.core.engine import create_engine
 from repro.experiments.runner import build_cgra_from_arch
 from repro.workloads.suite import load_benchmark
 
@@ -29,36 +30,21 @@ def profile_case(
     opt_level=0,
     opt_passes: Optional[Sequence[str]] = None,
     solver_backend: str = "arena",
+    seed: Optional[int] = None,
 ) -> Dict[str, object]:
     """Profile one (benchmark, size, approach) case; returns a JSON record."""
     dfg = load_benchmark(benchmark)
     cgra = build_cgra_from_arch(size, arch)
-    passes = tuple(opt_passes) if opt_passes else None
-    if approach == "satmapit":
-        mapper = SatMapItMapper(
-            cgra,
-            BaselineConfig(
-                timeout_seconds=timeout_seconds,
-                total_timeout_seconds=timeout_seconds,
-                opt_level=opt_level,
-                opt_passes=passes,
-                solver_backend=solver_backend,
-                profile=True,
-            ),
-        )
-    else:
-        mapper = MonomorphismMapper(
-            cgra,
-            MapperConfig(
-                time_timeout_seconds=timeout_seconds,
-                space_timeout_seconds=timeout_seconds,
-                total_timeout_seconds=timeout_seconds,
-                opt_level=opt_level,
-                opt_passes=passes,
-                solver_backend=solver_backend,
-                profile=True,
-            ),
-        )
+    mapper = create_engine(
+        approach,
+        cgra,
+        timeout_seconds=timeout_seconds,
+        seed=seed,
+        opt_level=opt_level,
+        opt_passes=tuple(opt_passes) if opt_passes else None,
+        solver_backend=solver_backend,
+        profile=True,
+    )
     result = mapper.map(dfg)
     return {
         "benchmark": benchmark,
@@ -87,6 +73,7 @@ def profile_benchmarks(
     opt_level=0,
     opt_passes: Optional[Sequence[str]] = None,
     solver_backend: str = "arena",
+    seed: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Profile a list of benchmarks; one record per benchmark."""
     return [
@@ -99,6 +86,7 @@ def profile_benchmarks(
             opt_level=opt_level,
             opt_passes=opt_passes,
             solver_backend=solver_backend,
+            seed=seed,
         )
         for benchmark in benchmarks
     ]

@@ -103,6 +103,53 @@ class TestBatchCase:
                             opt_passes=None)
         assert all(c.opt_level == 2 for c in cases)
 
+    def test_cache_key_depends_on_solver_backend(self):
+        # satellite: --solver-backend is a scenario axis and must key the
+        # cache; the default arena kernel normalises to one configuration
+        base = BatchCase("aes", "2x2", "mono", 30.0)
+        arena = BatchCase("aes", "2x2", "mono", 30.0, solver_backend="arena")
+        reference = BatchCase("aes", "2x2", "mono", 30.0,
+                              solver_backend="reference")
+        assert base.cache_key() == arena.cache_key()
+        assert base.cache_key() != reference.cache_key()
+        assert reference.label().endswith("/reference")
+        # the heuristic engine uses no SAT kernel: a backend must not
+        # fragment its keys (the portfolio's exact members do use it)
+        assert BatchCase("aes", "2x2", "heuristic", 30.0,
+                         solver_backend="reference").cache_key() == \
+            BatchCase("aes", "2x2", "heuristic", 30.0).cache_key()
+        assert BatchCase("aes", "2x2", "portfolio", 30.0,
+                         solver_backend="reference").cache_key() != \
+            BatchCase("aes", "2x2", "portfolio", 30.0).cache_key()
+
+    def test_seed_keys_only_stochastic_approaches(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROPERTY_SEED", raising=False)
+        from repro.heuristic.engine import DEFAULT_HEURISTIC_SEED
+
+        # exact engines are deterministic: a seed must not fragment keys
+        assert BatchCase("aes", "2x2", "mono", 30.0, seed=7).cache_key() \
+            == BatchCase("aes", "2x2", "mono", 30.0).cache_key()
+        # stochastic engines resolve the seed eagerly (explicit > env >
+        # default) so the *effective* seed keys the cache
+        default = BatchCase("aes", "2x2", "heuristic", 30.0)
+        assert default.seed == DEFAULT_HEURISTIC_SEED
+        pinned = BatchCase("aes", "2x2", "heuristic", 30.0, seed=7)
+        assert pinned.seed == 7
+        assert pinned.cache_key() != default.cache_key()
+        assert pinned.cache_key() == BatchCase(
+            "aes", "2x2", "sa", 30.0, seed=7).cache_key()
+        assert pinned.label().endswith("/seed=7")
+        monkeypatch.setenv("REPRO_PROPERTY_SEED", "31337")
+        env_seeded = BatchCase("aes", "2x2", "heuristic", 30.0)
+        assert env_seeded.seed == 31337
+        assert env_seeded.cache_key() != default.cache_key()
+
+    def test_portfolio_and_heuristic_in_the_grid(self):
+        cases = build_cases(["a"], ["2x2"], ["heuristic", "portfolio"],
+                            10.0, seed=3)
+        assert [c.approach for c in cases] == ["heuristic", "portfolio"]
+        assert all(c.seed == 3 for c in cases)
+
 
 class TestBatchRunner:
     def test_parallel_results_match_serial_order_and_values(self):
@@ -225,3 +272,47 @@ class TestCaseResultTiming:
         assert case.time_phase_seconds == pytest.approx(1.5)
         assert case.space_phase_seconds == pytest.approx(0.25)
         assert case.message == "SAT solver timed out on II=3"
+
+
+class TestStochasticEnginesInTheBatchLayer:
+    def test_heuristic_and_portfolio_cases_run_and_cache(self, tmp_path):
+        path = os.fspath(tmp_path / "cache.jsonl")
+        cases = [
+            BatchCase("bitcount", "3x3", "heuristic", 30.0, seed=5),
+            BatchCase("bitcount", "3x3", "portfolio", 60.0, seed=5),
+        ]
+        first = BatchRunner(jobs=1, cache_path=path).run(cases)
+        assert first.executed == 2
+        heuristic, portfolio = first.results
+        assert heuristic.succeeded and portfolio.succeeded
+        assert heuristic.approach == "heuristic"
+        assert heuristic.seed == 5
+        assert portfolio.winner is not None
+        assert portfolio.portfolio  # per-engine outcomes persisted
+        # the cache round-trips every new field (per_ii, portfolio, seed)
+        second = BatchRunner(jobs=1, cache_path=path).run(cases)
+        assert second.executed == 0 and second.cache_hits == 2
+        assert second.results[0].seed == 5
+        assert second.results[1].winner == portfolio.winner
+
+    def test_per_ii_attribution_reaches_the_case_result(self):
+        report = BatchRunner(jobs=1).run(
+            [BatchCase("aes", "2x2", "monomorphism", 30.0)]
+        )
+        result = report.results[0]
+        assert result.succeeded
+        assert result.iis_tried >= 1
+        assert result.per_ii, "per-II attribution missing from the batch layer"
+        last = result.per_ii[-1]
+        assert last["ii"] == result.ii
+        assert last["schedules"] >= 1
+        assert result.iis_tried == len(result.per_ii)
+
+    def test_per_ii_attribution_for_the_coupled_baseline(self):
+        report = BatchRunner(jobs=1).run(
+            [BatchCase("bitcount", "2x2", "satmapit", 30.0)]
+        )
+        result = report.results[0]
+        assert result.succeeded
+        assert result.per_ii is not None
+        assert result.per_ii[-1]["ii"] == result.ii

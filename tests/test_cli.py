@@ -99,6 +99,56 @@ class TestMapCommand:
         assert "3x3 CGRA" in capsys.readouterr().out
 
 
+class TestApproachOptions:
+    def test_map_with_heuristic_engine(self, capsys):
+        code = main(["map", "--benchmark", "bitcount", "--cgra", "3x3",
+                     "--approach", "heuristic", "--budget", "20",
+                     "--seed", "7"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "heuristic engine" in output
+        assert "II=3" in output
+
+    def test_map_with_portfolio_engine(self, capsys):
+        code = main(["map", "--benchmark", "bitcount", "--cgra", "3x3",
+                     "--approach", "portfolio", "--timeout", "60"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "portfolio engine" in output
+        # the per-engine attribution is printed, winner starred
+        assert "* heuristic: success" in output or \
+            "* monomorphism: success" in output
+
+    def test_map_heuristic_simulates_correctly(self, capsys):
+        code = main(["map", "--kernel-example", "dot_product", "--cgra",
+                     "3x3", "--approach", "heuristic", "--timeout", "30",
+                     "--simulate", "--iterations", "6"])
+        assert code == 0
+        assert "matches the sequential reference" in capsys.readouterr().out
+
+    def test_list_enumerates_approaches(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("monomorphism", "satmapit", "heuristic", "portfolio"):
+            assert name in output
+
+    def test_sweep_with_backend_and_seed_columns(self, capsys):
+        code = main(["sweep", "--benchmarks", "bitcount", "--sizes", "3x3",
+                     "--approaches", "heuristic", "--timeout", "30",
+                     "--seed", "9", "--solver-backend", "arena", "--quiet"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Backend" in output and "Seed" in output
+        assert "9" in output
+
+    def test_map_infeasible_heuristic_exits_nonzero(self, capsys):
+        code = main(["map", "--benchmark", "fft", "--cgra", "4x4",
+                     "--arch", "mul_free_torus", "--approach", "heuristic",
+                     "--timeout", "20"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
 class TestArchCommand:
     def test_arch_list(self, capsys):
         assert main(["arch", "list"]) == 0
