@@ -22,5 +22,8 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["networkx>=3.0", "numpy>=1.24"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
-    entry_points={"console_scripts": ["repro-map=repro.cli:main"]},
+    entry_points={"console_scripts": [
+        "repro-map=repro.cli:main",
+        "repro-serve=repro.service.cli:main",
+    ]},
 )

@@ -11,6 +11,9 @@ Subcommands::
     repro-map map --benchmark gsm --cgra 4x4 --approach portfolio
     repro-map map --kernel-example dot_product --cgra 5x5 --simulate
     repro-map map --kernel-file my_loop.k --cgra 8x8 --json mapping.json
+    repro-map map --benchmark gsm --approach heuristic --strategy refine
+    repro-map map --benchmark crc32 --remote http://127.0.0.1:8780
+                                           # compile on a repro-serve daemon
     repro-map arch list                    # architecture presets
     repro-map arch show mul_sparse_checkerboard --size 4x4
     repro-map arch dump memory_column_mesh --size 4x4 --out fabric.json
@@ -112,7 +115,88 @@ def _load_dfg(args: argparse.Namespace):
     return load_benchmark(args.benchmark), None
 
 
+def _remote_payload(args: argparse.Namespace) -> dict:
+    """Translate the ``map`` option surface into a service payload."""
+    payload: dict = {"cgra": args.cgra}
+    if args.kernel_file:
+        with open(args.kernel_file) as handle:
+            payload["kernel"] = handle.read()
+    elif args.kernel_example:
+        payload["kernel"] = EXAMPLE_KERNELS[args.kernel_example]
+    else:
+        payload["benchmark"] = args.benchmark
+    if args.arch:
+        if args.arch.endswith(".json"):
+            # the server cannot see local files: inline the spec content
+            with open(args.arch, encoding="utf-8") as handle:
+                payload["arch_spec"] = json.load(handle)
+        else:
+            payload["arch"] = args.arch
+    payload["approach"] = "satmapit" if args.baseline else args.approach
+    payload["opt_level"] = args.opt_level
+    if args.passes:
+        payload["opt_passes"] = list(args.passes)
+    if args.solver_backend != "arena":
+        payload["solver_backend"] = args.solver_backend
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    payload["budget_seconds"] = (args.budget if args.budget is not None
+                                 else args.timeout)
+    payload["strategy"] = args.strategy
+    return payload
+
+
+def _cmd_map_remote(args: argparse.Namespace) -> int:
+    """`repro-map map --remote URL`: compile on a running repro-serve."""
+    from repro.core.mapping import Mapping
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.simulate:
+        print("error: --simulate is local-only; fetch the mapping with "
+              "--json and simulate it locally", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.remote)
+    try:
+        job = client.submit(_remote_payload(args))
+        job_id = job["id"]
+        print(f"submitted {job_id} to {args.remote} "
+              f"(cache: {job.get('cache', 'miss')})")
+        if job["status"] not in ("done", "failed", "cancelled"):
+            # follow the anytime stream; improvements print as they land
+            for event in client.events(job_id):
+                if event["event"] == "improvement":
+                    print(f"  improvement: II={event['ii']} "
+                          f"(mII {event['mii']}) at {event['elapsed']:.3f}s")
+        job = client.job(job_id)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if job["status"] != "done":
+        print(f"job {job['id']}: {job['status']}"
+              + (f" ({job['error']})" if job.get("error") else ""))
+        return 1
+    result = job["result"]
+    cached = " (served from store)" if result.get("cached") else ""
+    print(f"status: {result['status']}, II={result['ii']} "
+          f"(mII {result['mii']}), engine {result['engine_seconds']:.3f}s"
+          + cached)
+    if result.get("message"):
+        print(result["message"])
+    if result["status"] != "success":
+        return 1
+    mapping = Mapping.from_dict(result["mapping"])
+    print()
+    print(mapping.render_kernel())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(mapping.to_json())
+        print(f"\nmapping written to {args.json}")
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
+    if args.remote:
+        return _cmd_map_remote(args)
     dfg, program = _load_dfg(args)
     cgra = build_cgra_from_arch(args.cgra, args.arch)
     fabric = "" if cgra.is_homogeneous else ", heterogeneous"
@@ -131,6 +215,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         opt_level=args.opt_level,
         opt_passes=opt_passes,
         solver_backend=args.solver_backend,
+        strategy=args.strategy,
     )
     result = mapper.map(dfg)
     if result.opt is not None:
@@ -382,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
     map_parser.add_argument("--solver-backend", default="arena",
                             choices=["arena", "reference"],
                             help="SAT kernel behind the exact engines")
+    map_parser.add_argument("--strategy", default="ascend",
+                            choices=["ascend", "refine"],
+                            help="heuristic II sweep: ascend stops at the "
+                                 "first (best) II; refine descends, "
+                                 "streaming best-so-far improvements")
+    map_parser.add_argument("--remote", default=None, metavar="URL",
+                            help="compile on a running repro-serve instance "
+                                 "instead of in-process (e.g. "
+                                 "http://127.0.0.1:8780)")
     map_parser.add_argument("--baseline", action="store_true",
                             help="use the SAT-MapIt-style coupled baseline "
                                  "(alias for --approach satmapit)")

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.arch.mrrg import TimeAdjacency
 
@@ -133,9 +133,9 @@ class MapperConfig:
 class HeuristicConfig:
     """Knobs of :class:`repro.heuristic.engine.HeuristicMapper`.
 
-    The heuristic engine is *anytime*: it searches II ascending from mII
-    under the wall-clock ``budget_seconds`` and always returns the best
-    valid mapping found so far (validated like the exact engines'). It is
+    The heuristic engine is *anytime*: it searches the II range under the
+    wall-clock ``budget_seconds`` and always returns the best valid
+    mapping found so far (validated like the exact engines'). It is
     stochastic but fully reproducible: every random draw flows from
     ``seed`` (resolved through
     :func:`repro.heuristic.engine.resolve_seed`, which honours the
@@ -162,6 +162,26 @@ class HeuristicConfig:
             this flag additionally raises instead of retrying).
         opt_level / opt_passes: the shared pre-mapping pipeline.
         profile: include detailed per-phase attribution in the stats.
+        strategy: II search direction. ``"ascend"`` (the default) walks
+            II up from mII and stops at the first success -- the first
+            valid mapping is provably the best the engine can report, so
+            there is exactly one result. ``"refine"`` walks II *down*
+            from the critical-path horizon toward mII: high IIs succeed
+            almost immediately, so a first (coarse) mapping lands fast
+            and every further success strictly improves it -- the
+            streaming shape the compile service's
+            ``GET /v1/jobs/<id>/events`` exposes. Both directions draw
+            from per-(II, attempt) RNG streams, so a given II's outcome
+            is identical whichever strategy visits it.
+        on_event: optional progress callback. The engine calls it with
+            one dict per *improvement* -- ``{"event": "improvement",
+            "ii": int, "mii": int, "elapsed": float}`` -- every time a
+            new best valid mapping lands (once under ``"ascend"``,
+            monotonically non-increasing IIs under ``"refine"``). The
+            callback runs on the engine's thread; it must be cheap and
+            must not raise (an exception aborts the search and
+            propagates to the ``map()`` caller, which the service uses
+            for cooperative cancellation).
     """
 
     max_ii: Optional[int] = None
@@ -176,8 +196,15 @@ class HeuristicConfig:
     opt_level: Union[int, str] = 0
     opt_passes: Optional[Tuple[str, ...]] = None
     profile: bool = False
+    strategy: str = "ascend"
+    on_event: Optional[Callable[[Dict[str, object]], None]] = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if self.strategy not in ("ascend", "refine"):
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                "expected 'ascend' or 'refine'")
         if self.slack < 0:
             raise ValueError("slack must be non-negative")
         if self.max_extra_slack < 0:

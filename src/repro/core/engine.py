@@ -22,7 +22,17 @@ module stays importable from anywhere in :mod:`repro.core` without cycles.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.cgra import CGRA
@@ -31,7 +41,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Engine(Protocol):
-    """What every mapping engine looks like to the rest of the library."""
+    """What every mapping engine looks like to the rest of the library.
+
+    The protocol is deliberately a single method. An engine is
+    constructed around a fixed :class:`~repro.arch.cgra.CGRA` and a
+    config object carrying its knobs (budgets, opt pipeline, seed, SAT
+    backend); ``map()`` is then called once per DFG. The contract every
+    engine honours:
+
+    * ``map()`` **never raises for ordinary failures** -- infeasibility,
+      timeouts and exhausted searches come back as the
+      :class:`~repro.core.mapper.MappingResult` ``status``; exceptions
+      are reserved for bugs (e.g. a mapping that fails validation with
+      ``config.validate`` set) and for callbacks that raise (the
+      service's cooperative cancellation).
+    * a returned ``SUCCESS`` mapping has passed
+      :func:`repro.core.validation.validate_mapping` (unless validation
+      was explicitly disabled);
+    * ``MappingResult.stats`` is always populated -- see the
+      :class:`~repro.core.mapper.MappingResult` docstring for the key
+      inventory (``per_ii``, ``portfolio``, ``winner``, ...);
+    * engines are **stateless across calls** as far as correctness goes:
+      any warm state kept between ``map()`` calls (learnt clauses,
+      VSIDS activities, cached fabrics) may only affect speed, never
+      results.
+
+    Engines register in :data:`ENGINE_NAMES` / :data:`ENGINE_ALIASES`
+    and are built uniformly by :func:`create_engine`; the CLI, the batch
+    runner, the profiler and the compile service all construct engines
+    exclusively through that factory.
+    """
 
     def map(self, dfg: "DFG") -> "MappingResult":
         """Map ``dfg`` onto the engine's CGRA; never raises for ordinary
@@ -96,6 +135,8 @@ def create_engine(
     profile: bool = False,
     validate: bool = True,
     parallel_portfolio: bool = False,
+    strategy: str = "ascend",
+    on_event: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> Engine:
     """Build any engine from the flat knob set the CLI exposes.
 
@@ -106,7 +147,10 @@ def create_engine(
     reaches every stochastic component (see
     :func:`repro.heuristic.engine.resolve_seed` for the precedence over
     ``REPRO_PROPERTY_SEED``); the exact engines ignore it -- they are
-    deterministic.
+    deterministic. ``strategy`` and ``on_event`` are the heuristic
+    engine's anytime knobs (II sweep direction and the best-so-far
+    improvement callback the service streams from); the other engines
+    ignore them.
     """
     from repro.core.config import (
         BaselineConfig,
@@ -154,6 +198,8 @@ def create_engine(
             opt_passes=passes,
             profile=profile,
             validate=validate,
+            strategy=strategy,
+            on_event=on_event,
         ))
     from repro.heuristic.portfolio import PortfolioMapper
 

@@ -86,10 +86,37 @@ class MappingResult:
     of ``total_seconds``: optimization is compilation time).
 
     ``stats`` is the :class:`repro.perf.PerfCounters` payload of the run
-    (solver counters, per-phase wall clock, space-search counters); both
-    engines populate it on every call. With ``config.profile`` set it also
+    (solver counters, per-phase wall clock, space-search counters); every
+    engine populates it on every call. With ``config.profile`` set it also
     carries the detailed in-loop propagate/analyze/reduce attribution --
     that is what ``repro-map profile`` prints.
+
+    The ``stats`` key inventory (all engines share the base shape, each
+    adds its own section):
+
+    * ``seconds`` -- per-phase wall clock: ``encode``, ``solve``,
+      ``space``, and under profiling ``propagate`` / ``analyze`` /
+      ``reduce``;
+    * ``solver`` -- SAT kernel counters: ``conflicts``, ``decisions``,
+      ``propagations``, ``learnts``, ``restarts``, ``reductions``, ...;
+    * ``space`` -- space-phase counters: ``calls``, ``nodes_explored``,
+      ``backtracks``;
+    * ``engine`` -- which engine produced the result; ``backend`` -- the
+      SAT kernel behind an exact engine; ``detailed`` -- whether the
+      profiling attribution was on;
+    * ``per_ii`` -- one entry per II attempted, in attempt order:
+      ``{"ii", "time", "space", "schedules"}``; the trace behind
+      compile-time-vs-II plots;
+    * ``seed`` -- the resolved RNG seed (stochastic engines only);
+    * ``heuristic`` -- the anytime engine's search counters
+      (``schedule_attempts``, ``schedule_failures``, ``sa_runs``,
+      ``sa_moves``, ``sa_accepted``, ``sa_ripups``, ``ii_bumps``);
+    * ``portfolio`` / ``winner`` -- the portfolio's per-engine outcome
+      list (``engine``, ``status``, ``ii``, ``total_seconds`` each) and
+      the name of the engine whose result was returned.
+
+    The whole payload is JSON-clean; the compile service stores it
+    verbatim in its result records (see ``docs/service.md``).
     """
 
     status: MappingStatus

@@ -165,6 +165,37 @@ class Mapping:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2)
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Mapping":
+        """Rebuild a mapping from :meth:`to_dict` output (or its JSON).
+
+        JSON stringifies the integer node-id keys of ``start_times`` and
+        ``placement``; they are converted back here, so a dict that went
+        through ``json.dumps``/``loads`` (e.g. a compile-service response)
+        round-trips. The fabric is reconstructed from its dimensions and
+        topology only -- per-PE operation sets are not serialised, so a
+        heterogeneous fabric comes back homogeneous; the schedule and
+        placement themselves are preserved exactly.
+        """
+        from repro.arch.topology import Topology
+
+        dfg = DFG.from_dict(data["dfg"])
+        fabric = data["cgra"]
+        cgra = CGRA(int(fabric["rows"]), int(fabric["cols"]),
+                    topology=Topology(fabric["topology"]))
+        start_times = {int(node): int(t)
+                       for node, t in data["start_times"].items()}
+        placement = {int(node): int(pe)
+                     for node, pe in data["placement"].items()}
+        schedule = Schedule(dfg=dfg, ii=int(data["ii"]),
+                            start_times=start_times)
+        return cls(dfg=dfg, cgra=cgra, schedule=schedule,
+                   placement=placement)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Mapping":
+        return cls.from_dict(json.loads(text))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Mapping({self.dfg.name} -> {self.cgra.size_label}, II={self.ii}, "

@@ -24,13 +24,16 @@ provides :class:`BatchRunner`, the engine behind ``repro-map sweep`` and the
   configurations), so re-runs skip already-solved cases and interrupted
   sweeps resume for free;
 * progress reporting through a pluggable callback.
+
+The cache's key derivation and persistence live in
+:mod:`repro.service.store` (they are the same content-addressed store the
+compile service serves from); this module keeps the flat single-file
+``.jsonl`` layout for compatibility with existing caches.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 import multiprocessing
 import os
 import time
@@ -39,6 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import CaseResult, normalize_approach, run_case
+from repro.service.store import ResultStore, content_key, file_content_hash
 
 #: extra wall-clock grace on top of a case's soft timeout before the worker
 #: process is terminated (encoding and validation time are part of a case).
@@ -101,13 +105,16 @@ class BatchCase:
     def cache_key(self) -> str:
         """Stable digest of everything that determines the result.
 
-        Mapper-affecting knobs (``arch``, ``opt_level``, ``opt_passes``)
-        join the digest only when set, so caches written before each axis
-        existed keep hitting -- but any non-default value content-hashes
-        into the key, and a stale entry can never be replayed across
-        configurations. A spec *file* is keyed by its content hash --
-        editing the fabric invalidates its entries. Extend this method
-        before plumbing any further mapper knob through a case.
+        The digest is :func:`repro.service.store.content_key` of the
+        configuration record below (see that module for the derivation
+        contract). Mapper-affecting knobs (``arch``, ``opt_level``,
+        ``opt_passes``) join the digest only when set, so caches written
+        before each axis existed keep hitting -- but any non-default value
+        content-hashes into the key, and a stale entry can never be
+        replayed across configurations. A spec *file* is keyed by its
+        content hash -- editing the fabric invalidates its entries. Extend
+        this method before plumbing any further mapper knob through a
+        case.
         """
         record: Dict[str, object] = {
             "benchmark": self.benchmark,
@@ -118,10 +125,7 @@ class BatchCase:
         if self.arch is not None:
             record["arch"] = self.arch
             if self.arch.endswith(".json") and os.path.exists(self.arch):
-                with open(self.arch, "rb") as handle:
-                    record["arch_sha"] = hashlib.sha256(
-                        handle.read()
-                    ).hexdigest()
+                record["arch_sha"] = file_content_hash(self.arch)
         if self.opt_level:
             record["opt_level"] = self.opt_level
         if self.opt_passes:
@@ -130,8 +134,7 @@ class BatchCase:
             record["solver_backend"] = self.solver_backend
         if self.seed is not None:
             record["seed"] = self.seed
-        payload = json.dumps(record, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+        return content_key(record)
 
     def label(self) -> str:
         base = f"{self.benchmark}/{self.size}/{self.approach}"
@@ -226,33 +229,45 @@ class BatchRunner:
     # ------------------------------------------------------------------ #
     # Cache
     # ------------------------------------------------------------------ #
-    def _load_cache(self) -> Dict[str, CaseResult]:
-        cache: Dict[str, CaseResult] = {}
-        if not self.cache_path or not os.path.exists(self.cache_path):
-            return cache
-        with open(self.cache_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    cache[record["key"]] = CaseResult(**record["result"])
-                except (ValueError, KeyError, TypeError):
-                    continue  # tolerate truncated/foreign lines
-        return cache
+    def _open_store(self, num_cases: int) -> Optional[ResultStore]:
+        """The content-addressed store behind ``cache_path``, if any.
 
-    def _append_cache(self, handle, key: str, case: BatchCase,
-                      result: CaseResult) -> None:
-        if handle is None:
+        The store's header (job-count provenance) is written lazily on
+        the first actual append, so a run served entirely from cache --
+        or a store opened by a read-only client -- leaves the file
+        byte-identical.
+        """
+        if not self.cache_path:
+            return None
+        return ResultStore(self.cache_path, header={
+            "jobs": self.jobs,
+            "cases": num_cases,
+            "hard_timeout_seconds": self.hard_timeout_seconds,
+            "kill_grace_seconds": self.kill_grace_seconds,
+        })
+
+    @staticmethod
+    def _cached_result(store: Optional[ResultStore],
+                       key: str) -> Optional[CaseResult]:
+        if store is None:
+            return None
+        record = store.get(key)
+        if record is None:
+            return None
+        try:
+            return CaseResult(**record["result"])
+        except (KeyError, TypeError):
+            return None  # tolerate foreign/older record shapes
+
+    @staticmethod
+    def _append_cache(store: Optional[ResultStore], key: str,
+                      case: BatchCase, result: CaseResult) -> None:
+        if store is None:
             return
-        record = {
-            "key": key,
+        store.put(key, {
             "case": dataclasses.asdict(case),
             "result": dataclasses.asdict(result),
-        }
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
-        handle.flush()
+        })
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -337,31 +352,16 @@ class BatchRunner:
         case_list = list(cases)
         start = time.monotonic()
         report = BatchReport(results=[None] * len(case_list))  # type: ignore[list-item]
-        cache = self._load_cache()
-        cache_handle = None
-        if self.cache_path:
-            cache_handle = open(self.cache_path, "a", encoding="utf-8")
-
-        if cache_handle is not None:
-            # Header record: which job count produced the runs appended
-            # below. The loader skips it (no "key"), so old readers and
-            # mixed-run caches keep working; it makes cache provenance
-            # auditable now that --jobs defaults to all CPUs.
-            header = {
-                "header": {
-                    "jobs": self.jobs,
-                    "cases": len(case_list),
-                    "hard_timeout_seconds": self.hard_timeout_seconds,
-                    "kill_grace_seconds": self.kill_grace_seconds,
-                }
-            }
-            cache_handle.write(json.dumps(header, sort_keys=True) + "\n")
-            cache_handle.flush()
+        # Header record (job-count provenance) is configured here but only
+        # written by the store when a result is actually appended; the
+        # loader skips it (no "key"), so old readers and mixed-run caches
+        # keep working.
+        store = self._open_store(len(case_list))
 
         pending: deque = deque()
         for index, case in enumerate(case_list):
             key = case.cache_key()
-            hit = cache.get(key)
+            hit = self._cached_result(store, key)
             if hit is not None:
                 report.results[index] = hit
                 report.cache_hits += 1
@@ -389,7 +389,7 @@ class BatchRunner:
                     elif result.status == ERROR_STATUS:
                         report.errors += 1
                     else:
-                        self._append_cache(cache_handle, entry.key,
+                        self._append_cache(store, entry.key,
                                            entry.case, result)
                     self._report(
                         f"[done]  {entry.case.label()}: {result.status}"
@@ -406,8 +406,6 @@ class BatchRunner:
                 entry.process.terminate()
                 entry.process.join(timeout=5)
                 entry.connection.close()
-            if cache_handle is not None:
-                cache_handle.close()
 
         report.elapsed_seconds = time.monotonic() - start
         return report

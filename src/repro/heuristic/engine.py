@@ -23,6 +23,17 @@ II succeeded). Failing an II entirely *restarts* the search at the next II
 with a fresh deterministic RNG stream (restart-on-II-bump), so the
 behaviour at one II never depends on how much work earlier IIs consumed.
 
+Two II sweep **strategies** (``HeuristicConfig.strategy``): ``"ascend"``
+(default) walks II up from mII and stops at the first success, which is
+then the best result the engine can report; ``"refine"`` walks II *down*
+from the critical-path horizon toward mII, so a coarse mapping lands
+almost immediately and every further success strictly lowers the II --
+each improvement is delivered through ``HeuristicConfig.on_event``, which
+is how the compile service streams best-so-far results
+(``GET /v1/jobs/<id>/events``). Because every II draws from its own
+per-(II, attempt) RNG streams, the outcome at a given II is identical
+under both strategies.
+
 **Seeding.** Every random draw descends from one integer seed, resolved by
 :func:`resolve_seed` with the precedence ``explicit argument >
 REPRO_PROPERTY_SEED environment variable > DEFAULT_HEURISTIC_SEED``. Two
@@ -35,7 +46,7 @@ from __future__ import annotations
 import os
 import random
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.arch.cgra import CGRA
 from repro.core.config import HeuristicConfig
@@ -102,6 +113,11 @@ class HeuristicMapper:
             return max(self.config.max_ii, mii)
         return max(mii, critical_path_length(dfg) + self.config.slack)
 
+    def _emit(self, payload: Dict[str, object]) -> None:
+        """Deliver a progress event to ``config.on_event``, if set."""
+        if self.config.on_event is not None:
+            self.config.on_event(payload)
+
     def map(self, dfg: DFG) -> MappingResult:
         """Map ``dfg``; never raises for ordinary failures."""
         dfg.validate()
@@ -158,16 +174,20 @@ class HeuristicMapper:
         best_mapping: Optional[Mapping] = None
         best_ii: Optional[int] = None
 
-        for ii in range(mii, max_ii + 1):
-            if best_mapping is not None:
-                break
+        def attempt_ii(ii: int) -> Tuple[Optional[Mapping], bool]:
+            """One full II attempt: ``(mapping_or_None, budget_out)``.
+
+            Every random draw comes from per-(II, attempt) streams, so
+            the outcome at a given II is a pure function of (seed, II)
+            -- independent of the sweep direction and of how much work
+            other IIs consumed (restart-on-II-bump).
+            """
             result.iis_tried += 1
             ii_entry = {"ii": ii, "time": 0.0, "space": 0.0, "schedules": 0}
             per_ii.append(ii_entry)
             for attempt in range(self.config.schedules_per_ii):
                 if time.monotonic() > deadline:
-                    budget_exhausted = True
-                    break
+                    return None, True
                 rng = _attempt_rng(seed, ii, attempt)
                 eff_slack = max(
                     slack_list[attempt % len(slack_list)], needed_slack)
@@ -192,8 +212,7 @@ class HeuristicMapper:
                 ii_entry["schedules"] += 1
                 for _ in range(self.config.placements_per_schedule):
                     if time.monotonic() > deadline:
-                        budget_exhausted = True
-                        break
+                        return None, True
                     phase_start = time.monotonic()
                     outcome = anneal_placement(
                         schedule, self.cgra, rng, distances=distances,
@@ -221,15 +240,32 @@ class HeuristicMapper:
                         if self.config.validate:
                             raise InvalidMappingError(violations)
                         continue
-                    best_mapping = mapping
-                    best_ii = ii
+                    return mapping, False
+            return None, False
+
+        # "ascend" walks mII upward and stops at the first success (which
+        # is the best II the engine can report); "refine" walks the
+        # horizon *down* toward mII so a coarse mapping lands almost
+        # immediately and every further success strictly improves it --
+        # the anytime stream the service exposes per job.
+        descending = self.config.strategy == "refine"
+        if descending:
+            ii_values = range(max_ii, mii - 1, -1)
+        else:
+            ii_values = range(mii, max_ii + 1)
+        for ii in ii_values:
+            mapping, budget_exhausted = attempt_ii(ii)
+            if mapping is not None:
+                best_mapping = mapping
+                best_ii = ii
+                self._emit({"event": "improvement", "ii": ii, "mii": mii,
+                            "elapsed": time.monotonic() - start})
+                if not descending or ii == mii:
                     break
-                if best_mapping is not None or budget_exhausted:
-                    break
+            elif not budget_exhausted:
+                counters["ii_bumps"] += 1
             if budget_exhausted:
                 break
-            if best_mapping is None:
-                counters["ii_bumps"] += 1
 
         if best_mapping is not None:
             result.status = MappingStatus.SUCCESS

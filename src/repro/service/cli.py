@@ -1,0 +1,114 @@
+"""``repro-serve`` -- run or query the persistent compile service.
+
+Two subcommands:
+
+* ``repro-serve start`` binds the HTTP server and blocks until
+  interrupted. ``--store`` points at the content-addressed result store
+  (a directory for the sharded layout, a ``.jsonl`` path for the legacy
+  flat file); without it results are cached in memory only.
+* ``repro-serve status`` queries a running server's ``/healthz`` and
+  prints it as JSON -- the scriptable liveness probe.
+
+See ``docs/service.md`` for the HTTP API the started server exposes and
+``repro-map map --remote URL`` for the client side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="persistent CGRA compile service "
+                    "(content-addressed result store + worker pool)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start = sub.add_parser(
+        "start", help="run the compile server (blocks until interrupted)")
+    start.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: %(default)s)")
+    start.add_argument("--port", type=int, default=8780,
+                       help="port to bind (default: %(default)s)")
+    start.add_argument("--store", default=None, metavar="PATH",
+                       help="result store: a directory (sharded) or a "
+                            ".jsonl file (flat); default: in-memory only")
+    start.add_argument("--workers", type=int, default=2,
+                       help="mapping worker threads (default: %(default)s)")
+    start.add_argument("--default-budget", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="budget for requests that do not set one "
+                            "(default: %(default)s)")
+    start.add_argument("--max-budget", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="hard cap on per-request budgets "
+                            "(default: %(default)s)")
+    start.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+
+    status = sub.add_parser(
+        "status", help="print a running server's /healthz as JSON")
+    status.add_argument("--url", default="http://127.0.0.1:8780",
+                        help="server base URL (default: %(default)s)")
+    return parser
+
+
+def _cmd_start(args: argparse.Namespace) -> int:
+    from repro.service.jobs import MappingService
+    from repro.service.server import create_server
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    service = MappingService(
+        store_path=args.store,
+        workers=args.workers,
+        default_budget_seconds=args.default_budget,
+        max_budget_seconds=args.max_budget,
+    )
+    server = create_server(service, host=args.host, port=args.port,
+                           quiet=args.quiet)
+    store_note = args.store if args.store else "in-memory"
+    print(f"repro-serve listening on http://{args.host}:{args.port} "
+          f"({args.workers} worker(s), store: {store_note})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        service.shutdown()
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        health = client.health()
+    except (ServiceError, OSError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(health, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "start":
+        return _cmd_start(args)
+    return _cmd_status(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""A thin stdlib client for the compile service (``urllib`` only).
+
+:class:`ServiceClient` wraps the HTTP API of :mod:`repro.service.server`
+one method per endpoint, decoding JSON and raising :class:`ServiceError`
+with the server's error code on non-2xx answers. It is what the tests
+and ``repro-map map --remote`` use; nothing in it depends on the server
+being in-process.
+
+Typical round trip::
+
+    client = ServiceClient("http://127.0.0.1:8780")
+    job = client.submit({"benchmark": "crc32", "approach": "heuristic",
+                         "strategy": "refine"})
+    for event in client.events(job["id"]):      # live NDJSON stream
+        print(event)
+    job = client.wait(job["id"])                # terminal job view
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the service, carrying its error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"{code} ({status}): {message}")
+        self.status = status
+        self.code = code
+
+
+class ServiceClient:
+    """One compile-service endpoint, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            try:
+                envelope = json.loads(exc.read().decode("utf-8"))
+                error = envelope.get("error", {})
+                raise ServiceError(exc.code,
+                                   str(error.get("code", "unknown")),
+                                   str(error.get("message", ""))) from exc
+            except (ValueError, AttributeError):
+                raise ServiceError(exc.code, "unknown", str(exc)) from exc
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        with self._request(method, path, payload) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def engines(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/engines")
+
+    def store_stats(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/store/stats")
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """POST a mapping request; returns the job view (maybe done)."""
+        return self._json("POST", "/v1/jobs", payload)["job"]
+
+    def jobs(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/jobs")
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def events(self, job_id: str, start: int = 0,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, object]]:
+        """Stream a job's NDJSON events live; ends at the terminal event.
+
+        ``timeout`` bounds the *socket* idle time between lines, not the
+        total stream duration -- a long-running job that keeps improving
+        keeps the stream alive.
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        if start:
+            path += f"?from={start}"
+        request = urllib.request.Request(
+            self.base_url + path, headers={"Accept": "application/x-ndjson"})
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None
+                else self.timeout)
+        except urllib.error.HTTPError as exc:
+            envelope = json.loads(exc.read().decode("utf-8"))
+            error = envelope.get("error", {})
+            raise ServiceError(exc.code, str(error.get("code", "unknown")),
+                               str(error.get("message", ""))) from exc
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_seconds: float = 0.05) -> Dict[str, object]:
+        """Poll until the job is terminal; raises TimeoutError otherwise."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(poll_seconds)
+
+    def map(self, payload: Dict[str, object],
+            timeout: float = 120.0) -> Dict[str, object]:
+        """Submit and block until terminal: the one-call remote ``map()``."""
+        job = self.submit(payload)
+        if job["status"] in ("done", "failed", "cancelled"):
+            return job
+        return self.wait(job["id"], timeout=timeout)

@@ -1,0 +1,661 @@
+"""Request model, job lifecycle and the worker pool of the compile service.
+
+A request reaches the service as a JSON payload (see
+:meth:`MapRequest.from_payload` for the schema) naming its kernel by one
+of three sources -- frontend ``kernel`` source text, a serialized ``dfg``,
+or a bundled ``benchmark`` name -- plus the mapping knobs every other
+entry point in the project exposes (fabric, approach, opt level, solver
+backend, seed, budget).
+
+Submitting a request first derives its **store key**
+(:meth:`MapRequest.store_record` -> :func:`repro.service.store.content_key`):
+if the content-addressed store already holds a result for that exact
+configuration, the job is born ``done`` with ``cache == "hit"`` and the
+stored result -- no engine runs, no queue wait. Otherwise the job enters a
+priority queue consumed by a pool of worker threads; each worker keeps a
+*warm fabric cache* (constructed :class:`~repro.arch.cgra.CGRA` objects
+keyed by fabric content) so repeated requests against the same fabric
+skip re-construction.
+
+Progress is a list of JSON events per job (``submitted``, ``started``,
+``improvement`` best-so-far records from the heuristic engine's anytime
+callback, ``done``/``failed``/``cancelled``), observable live through
+:meth:`MappingService.stream_events` -- the backing iterator of the HTTP
+layer's ``GET /v1/jobs/<id>/events``. Improvement events are persisted
+with the result, so a cache hit replays the same stream the original
+computation produced.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.arch.cgra import CGRA
+from repro.arch.spec import ArchSpec, preset_names, resolve_arch
+from repro.core.engine import create_engine, normalize_engine
+from repro.experiments.runner import parse_size
+from repro.graphs.dfg import DFG
+from repro.service.store import ResultStore, content_key
+
+#: statuses a job can be in; terminal ones never change again
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+TERMINAL_STATUSES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+#: result statuses worth persisting: deterministic facts about the
+#: configuration. Timeouts are *not* cached -- they describe the budget
+#: and the machine load, not the kernel.
+CACHEABLE_STATUSES = ("success", "no_solution", "infeasible")
+
+
+class RequestError(ValueError):
+    """A malformed or unserviceable request payload (HTTP 400)."""
+
+
+class _JobCancelled(Exception):
+    """Raised inside the engine callback to abort a cancelled job."""
+
+
+@dataclass
+class MapRequest:
+    """A validated mapping request, ready for a worker.
+
+    ``fabric_record`` / ``dfg`` are canonical content (not spellings):
+    two payloads that describe the same kernel and fabric produce equal
+    :meth:`store_record` dicts and therefore the same store key.
+    """
+
+    dfg: DFG
+    source_kind: str                      # "kernel" | "dfg" | "benchmark"
+    cgra_size: str
+    arch: Optional[str]                   # preset name, or None
+    arch_spec: Optional[ArchSpec]         # inline spec, if one was sent
+    approach: str                         # canonical engine name
+    opt_level: int
+    opt_passes: Optional[Tuple[str, ...]]
+    solver_backend: Optional[str]         # None == default arena kernel
+    seed: Optional[int]                   # resolved; exact engines: None
+    budget_seconds: float
+    priority: int
+    strategy: str                         # heuristic II sweep direction
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Dict[str, object],
+        default_budget_seconds: float = 30.0,
+        max_budget_seconds: float = 300.0,
+    ) -> "MapRequest":
+        """Validate a JSON payload into a request; raises RequestError.
+
+        Payload schema (one source field is required, everything else is
+        optional)::
+
+            {"kernel": "<frontend source>",   # exactly one of these
+             "dfg": {...},                    # DFG.to_dict() shape
+             "benchmark": "crc32",
+             "cgra": "4x4",
+             "arch": "<preset name>",         # or:
+             "arch_spec": {...},              # inline ArchSpec JSON
+             "approach": "monomorphism",      # any engine alias
+             "opt_level": "O2", "opt_passes": ["cse", ...],
+             "solver_backend": "arena",
+             "seed": 7,
+             "budget_seconds": 30.0,
+             "priority": 0,
+             "strategy": "ascend"}            # or "refine" (streaming)
+        """
+        if not isinstance(payload, dict):
+            raise RequestError("payload must be a JSON object")
+        sources = [k for k in ("kernel", "dfg", "benchmark") if k in payload]
+        if len(sources) != 1:
+            raise RequestError(
+                "exactly one of 'kernel', 'dfg' or 'benchmark' is required")
+        source_kind = sources[0]
+        try:
+            if source_kind == "kernel":
+                from repro.frontend import extract_dfg
+
+                program = extract_dfg(str(payload["kernel"]),
+                                      name="service_kernel")
+                dfg = program.dfg
+            elif source_kind == "dfg":
+                if not isinstance(payload["dfg"], dict):
+                    raise RequestError("'dfg' must be a JSON object")
+                dfg = DFG.from_dict(payload["dfg"])
+                dfg.validate()
+            else:
+                from repro.workloads.suite import load_benchmark
+
+                dfg = load_benchmark(str(payload["benchmark"]))
+        except RequestError:
+            raise
+        except KeyError as exc:
+            raise RequestError(
+                f"unknown benchmark {payload.get('benchmark')!r}") from exc
+        except Exception as exc:  # lexer/parser/graph errors: bad payload
+            raise RequestError(f"invalid {source_kind}: {exc}") from exc
+
+        size = str(payload.get("cgra", "4x4"))
+        try:
+            parse_size(size)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+
+        arch = payload.get("arch")
+        arch_spec: Optional[ArchSpec] = None
+        if arch is not None and "arch_spec" in payload:
+            raise RequestError("'arch' and 'arch_spec' are exclusive")
+        if arch is not None:
+            arch = str(arch)
+            if arch not in preset_names():
+                raise RequestError(
+                    f"unknown arch preset {arch!r}; inline fabrics go in "
+                    "'arch_spec'")
+        if "arch_spec" in payload:
+            try:
+                arch_spec = ArchSpec.from_json(json.dumps(payload["arch_spec"]))
+            except Exception as exc:
+                raise RequestError(f"invalid arch_spec: {exc}") from exc
+
+        try:
+            approach = normalize_engine(str(payload.get("approach",
+                                                        "monomorphism")))
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+
+        from repro.opt.pipeline import parse_opt_level
+
+        try:
+            opt_level = parse_opt_level(payload.get("opt_level", 0))
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+        opt_passes = payload.get("opt_passes")
+        if opt_passes is not None:
+            if (not isinstance(opt_passes, (list, tuple))
+                    or not all(isinstance(p, str) for p in opt_passes)):
+                raise RequestError("'opt_passes' must be a list of names")
+            from repro.opt.passes import make_pass
+
+            try:
+                for name in opt_passes:
+                    make_pass(name)
+            except ValueError as exc:
+                raise RequestError(str(exc)) from exc
+            opt_passes = tuple(opt_passes)
+
+        solver_backend = payload.get("solver_backend")
+        if solver_backend not in (None, "arena", "reference"):
+            raise RequestError(
+                f"unknown solver_backend {solver_backend!r}")
+        if solver_backend == "arena" or approach == "heuristic":
+            solver_backend = None  # one configuration, one key (cf. BatchCase)
+
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise RequestError("'seed' must be an integer")
+        if approach in ("heuristic", "portfolio"):
+            from repro.heuristic.engine import resolve_seed
+
+            seed = resolve_seed(seed)
+        else:
+            seed = None  # exact engines are deterministic
+
+        try:
+            budget = float(payload.get("budget_seconds",
+                                       default_budget_seconds))
+        except (TypeError, ValueError) as exc:
+            raise RequestError("'budget_seconds' must be a number") from exc
+        if budget <= 0:
+            raise RequestError("'budget_seconds' must be positive")
+        budget = min(budget, max_budget_seconds)
+
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            raise RequestError("'priority' must be an integer")
+
+        strategy = str(payload.get("strategy", "ascend"))
+        if strategy not in ("ascend", "refine"):
+            raise RequestError(
+                f"unknown strategy {strategy!r}; expected 'ascend' or "
+                "'refine'")
+
+        return cls(
+            dfg=dfg, source_kind=source_kind, cgra_size=size,
+            arch=arch, arch_spec=arch_spec, approach=approach,
+            opt_level=opt_level, opt_passes=opt_passes,
+            solver_backend=solver_backend, seed=seed,
+            budget_seconds=budget, priority=priority, strategy=strategy,
+        )
+
+    # ------------------------------------------------------------------ #
+    def resolved_spec(self) -> Optional[ArchSpec]:
+        """The declarative fabric of this request (None = plain torus)."""
+        if self.arch_spec is not None:
+            return self.arch_spec
+        if self.arch is not None:
+            rows, cols = parse_size(self.cgra_size)
+            return resolve_arch(self.arch, rows, cols)
+        return None
+
+    def fabric_record(self) -> Dict[str, object]:
+        """Canonical fabric content for the store key and fabric cache."""
+        spec = self.resolved_spec()
+        if spec is None:
+            return {"size": self.cgra_size, "topology": "torus"}
+        return json.loads(spec.to_json())
+
+    def build_cgra(self) -> CGRA:
+        spec = self.resolved_spec()
+        if spec is None:
+            rows, cols = parse_size(self.cgra_size)
+            return CGRA(rows, cols)
+        return spec.build()
+
+    def store_record(self) -> Dict[str, object]:
+        """The configuration record whose content hash keys the store.
+
+        Key derivation contract (see :mod:`repro.service.store`): the
+        record holds canonical *content*, never spellings -- the DFG's
+        serialized structure (so a kernel submitted as source and the
+        same kernel submitted as a serialized DFG share a key), the
+        resolved fabric, the canonical engine name, and exactly the
+        knobs that can change the result (opt pipeline, SAT backend,
+        resolved seed and budget for the stochastic engines, sweep
+        strategy). Spellings, priorities and transport details stay out.
+        """
+        record: Dict[str, object] = {
+            "dfg_sha": content_key(self.dfg.to_dict()),
+            "fabric": self.fabric_record(),
+            "approach": self.approach,
+        }
+        if self.opt_level:
+            record["opt_level"] = self.opt_level
+        if self.opt_passes:
+            record["opt_passes"] = list(self.opt_passes)
+        if self.solver_backend is not None:
+            record["solver_backend"] = self.solver_backend
+        if self.seed is not None:
+            record["seed"] = self.seed
+        if self.approach in ("heuristic", "portfolio"):
+            # budget and sweep direction shape the stochastic engines'
+            # results; the exact engines' outcome is budget-independent
+            # (timeouts are never cached)
+            record["budget_seconds"] = self.budget_seconds
+            record["strategy"] = self.strategy
+        return record
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON summary for job views and stored provenance."""
+        return {
+            "source": self.source_kind,
+            "dfg_name": self.dfg.name,
+            "nodes": self.dfg.num_nodes,
+            "cgra": self.cgra_size,
+            "arch": self.arch or ("inline" if self.arch_spec else None),
+            "approach": self.approach,
+            "opt_level": self.opt_level,
+            "opt_passes": list(self.opt_passes) if self.opt_passes else None,
+            "solver_backend": self.solver_backend,
+            "seed": self.seed,
+            "budget_seconds": self.budget_seconds,
+            "priority": self.priority,
+            "strategy": self.strategy,
+        }
+
+
+@dataclass
+class Job:
+    """One submitted request and everything that happened to it."""
+
+    id: str
+    request: MapRequest
+    key: str
+    status: str = JOB_QUEUED
+    cache: str = "miss"
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    events: List[Dict[str, object]] = field(default_factory=list)
+    cancel_requested: bool = False
+    cond: threading.Condition = field(default_factory=threading.Condition,
+                                      repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def view(self, include_result: bool = True) -> Dict[str, object]:
+        view: Dict[str, object] = {
+            "id": self.id,
+            "key": self.key,
+            "status": self.status,
+            "cache": self.cache,
+            "request": self.request.describe(),
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "num_events": len(self.events),
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if include_result and self.result is not None:
+            view["result"] = self.result
+        return view
+
+
+def result_record(result, engine_seconds: float,
+                  events: List[Dict[str, object]]) -> Dict[str, object]:
+    """Flatten a :class:`~repro.core.mapper.MappingResult` to JSON.
+
+    ``engine_seconds`` is the wall clock the worker spent inside
+    ``engine.map()`` -- on a cache hit it is reported as stored, so a
+    client can always see what the computation originally cost, while the
+    job's own ``started``/``finished`` stamps show the (near-zero) serve
+    time.
+    """
+    mapping = result.mapping
+    return {
+        "status": result.status.value,
+        "ii": result.ii,
+        "mii": result.mii,
+        "res_ii": result.res_ii,
+        "rec_ii": result.rec_ii,
+        "time_phase_seconds": result.time_phase_seconds,
+        "space_phase_seconds": result.space_phase_seconds,
+        "total_seconds": result.total_seconds,
+        "opt_seconds": result.opt_seconds,
+        "schedules_tried": result.schedules_tried,
+        "iis_tried": result.iis_tried,
+        "message": result.message,
+        "stats": result.stats,
+        "mapping": mapping.to_dict() if mapping is not None else None,
+        "engine_seconds": engine_seconds,
+        "events": [dict(event) for event in events
+                   if event.get("event") == "improvement"],
+    }
+
+
+class MappingService:
+    """The compile service: store-first answers, then the worker pool.
+
+    Thread-safe; the HTTP layer calls it from handler threads and the
+    worker pool mutates jobs from worker threads. When ``store_path`` is
+    ``None`` results are still content-addressed, but only in memory for
+    the lifetime of the service.
+    """
+
+    def __init__(
+        self,
+        store_path: Optional[str] = None,
+        workers: int = 2,
+        default_budget_seconds: float = 30.0,
+        max_budget_seconds: float = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = (ResultStore(store_path, header={"writer": "repro-serve"})
+                      if store_path else None)
+        self._memory_cache: Dict[str, Dict[str, object]] = {}
+        self.default_budget_seconds = default_budget_seconds
+        self.max_budget_seconds = max_budget_seconds
+        self.started_at = time.time()
+        self.jobs: Dict[str, Job] = {}
+        self.counters = {
+            "submitted": 0,
+            "engine_runs": 0,
+            "cache_hits": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "fabric_cache_hits": 0,
+        }
+        self._lock = threading.Lock()
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._seq = 0
+        self._stop = threading.Event()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(index,),
+                             name=f"repro-serve-worker-{index}", daemon=True)
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission / lookup
+    # ------------------------------------------------------------------ #
+    def _store_get(self, key: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            if key in self._memory_cache:
+                return self._memory_cache[key]
+            if self.store is not None:
+                record = self.store.get(key)
+                if record is not None:
+                    result = record.get("result")
+                    return result if isinstance(result, dict) else None
+        return None
+
+    def _store_put(self, key: str, request: MapRequest,
+                   result: Dict[str, object]) -> None:
+        with self._lock:
+            self._memory_cache[key] = result
+            if self.store is not None:
+                self.store.put(key, {
+                    "request": {**request.describe(),
+                                "record": request.store_record()},
+                    "result": result,
+                })
+
+    def _append_event(self, job: Job, payload: Dict[str, object]) -> None:
+        with job.cond:
+            job.events.append(dict(payload, ts=round(time.time(), 3)))
+            job.cond.notify_all()
+
+    def _finish(self, job: Job, status: str,
+                result: Optional[Dict[str, object]] = None,
+                error: Optional[str] = None) -> None:
+        final_event = {"event": status}
+        if result is not None:
+            final_event["ii"] = result.get("ii")
+            final_event["status"] = result.get("status")
+        if error is not None:
+            final_event["error"] = error
+        with job.cond:
+            job.status = status
+            job.result = result
+            job.error = error
+            job.finished = time.time()
+            job.events.append(dict(final_event, ts=round(job.finished, 3)))
+            job.cond.notify_all()
+
+    def submit(self, payload: Dict[str, object]) -> Job:
+        """Validate, answer from the store if possible, else enqueue."""
+        request = MapRequest.from_payload(
+            payload,
+            default_budget_seconds=self.default_budget_seconds,
+            max_budget_seconds=self.max_budget_seconds,
+        )
+        key = content_key(request.store_record())
+        with self._lock:
+            self._seq += 1
+            job = Job(id=f"j{self._seq:06d}", request=request, key=key)
+            self.jobs[job.id] = job
+            self.counters["submitted"] += 1
+        self._append_event(job, {"event": "submitted", "key": key})
+
+        stored = self._store_get(key)
+        if stored is not None:
+            with self._lock:
+                self.counters["cache_hits"] += 1
+            job.cache = "hit"
+            job.started = time.time()
+            self._append_event(job, {"event": "cache_hit"})
+            # replay the improvement stream the original computation
+            # produced, so streaming clients see the same shape
+            for event in stored.get("events", ()):
+                self._append_event(job, event)
+            self._finish(job, JOB_DONE, result=dict(stored, cached=True))
+            return job
+
+        self._queue.put((-request.priority, self._seq, job.id))
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError as exc:
+            raise KeyError(f"unknown job {job_id!r}") from exc
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; queued jobs die before starting, running
+        heuristic jobs abort at their next improvement callback."""
+        job = self.get(job_id)
+        with job.cond:
+            job.cancel_requested = True
+        if job.status == JOB_QUEUED:
+            # the worker loop observes the flag when it pops the job;
+            # nothing else to do -- the job is not running anywhere
+            pass
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Worker pool
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, index: int) -> None:
+        # warm per-worker state: fabrics are keyed by canonical content,
+        # so repeated requests against the same fabric skip CGRA/MRRG
+        # reconstruction entirely (results are unaffected -- see the
+        # Engine protocol's warm-state rule)
+        fabric_cache: Dict[str, CGRA] = {}
+        while not self._stop.is_set():
+            try:
+                _, _, job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            job = self.jobs[job_id]
+            if job.cancel_requested:
+                with self._lock:
+                    self.counters["cancelled"] += 1
+                self._finish(job, JOB_CANCELLED)
+                continue
+            self._run_job(job, index, fabric_cache)
+
+    def _run_job(self, job: Job, worker_index: int,
+                 fabric_cache: Dict[str, CGRA]) -> None:
+        request = job.request
+        with job.cond:
+            job.status = JOB_RUNNING
+            job.started = time.time()
+        fabric_key = content_key(request.fabric_record())
+        cgra = fabric_cache.get(fabric_key)
+        warm = cgra is not None
+        if not warm:
+            try:
+                cgra = request.build_cgra()
+            except Exception as exc:
+                with self._lock:
+                    self.counters["failed"] += 1
+                self._finish(job, JOB_FAILED, error=f"fabric build: {exc!r}")
+                return
+            fabric_cache[fabric_key] = cgra
+        else:
+            with self._lock:
+                self.counters["fabric_cache_hits"] += 1
+        self._append_event(job, {"event": "started", "worker": worker_index,
+                                 "warm_fabric": warm})
+
+        def on_event(payload: Dict[str, object]) -> None:
+            if job.cancel_requested:
+                raise _JobCancelled()
+            self._append_event(job, payload)
+
+        engine = create_engine(
+            request.approach,
+            cgra,
+            timeout_seconds=request.budget_seconds,
+            budget_seconds=request.budget_seconds,
+            seed=request.seed,
+            opt_level=request.opt_level,
+            opt_passes=request.opt_passes,
+            solver_backend=request.solver_backend or "arena",
+            strategy=request.strategy,
+            on_event=on_event,
+        )
+        engine_start = time.monotonic()
+        try:
+            result = engine.map(request.dfg)
+        except _JobCancelled:
+            with self._lock:
+                self.counters["cancelled"] += 1
+            self._finish(job, JOB_CANCELLED)
+            return
+        except Exception as exc:
+            with self._lock:
+                self.counters["failed"] += 1
+            self._finish(job, JOB_FAILED, error=repr(exc))
+            return
+        engine_seconds = time.monotonic() - engine_start
+        with self._lock:
+            self.counters["engine_runs"] += 1
+
+        improvements = [e for e in job.events
+                        if e.get("event") == "improvement"]
+        record = result_record(result, engine_seconds, improvements)
+        if record["status"] in CACHEABLE_STATUSES:
+            self._store_put(job.key, request, record)
+        self._finish(job, JOB_DONE, result=record)
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def stream_events(self, job_id: str, start: int = 0,
+                      poll_seconds: float = 0.5) -> Iterator[Dict[str, object]]:
+        """Yield a job's events from ``start``, blocking until terminal.
+
+        The iterator ends once the job has reached a terminal status and
+        every event has been delivered -- the last yielded event is
+        always the terminal ``done``/``failed``/``cancelled`` record.
+        """
+        job = self.get(job_id)
+        index = start
+        while True:
+            with job.cond:
+                while index >= len(job.events) and not job.terminal:
+                    job.cond.wait(timeout=poll_seconds)
+                batch = list(job.events[index:])
+                terminal = job.terminal
+            yield from batch
+            index += len(batch)
+            if terminal and index >= len(job.events):
+                return
+
+    def health(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self.counters)
+            by_status: Dict[str, int] = {}
+            for job in self.jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "workers": len(self._workers),
+            "queued": self._queue.qsize(),
+            "jobs": by_status,
+            "counters": counters,
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for thread in self._workers:
+            thread.join(timeout=timeout)

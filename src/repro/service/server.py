@@ -1,0 +1,241 @@
+"""The HTTP front of the compile service (stdlib ``http.server`` only).
+
+The wire protocol is plain JSON over HTTP/1.1 with one streaming
+exception: ``GET /v1/jobs/<id>/events`` answers NDJSON (one JSON event
+per line, flushed as produced) and closes when the job reaches a
+terminal status. Full endpoint reference, payload schema and error
+codes live in ``docs/service.md``; the request/job semantics live in
+:mod:`repro.service.jobs`.
+
+Routes::
+
+    GET    /healthz              liveness + counters + store stats
+    GET    /v1/engines           engine registry (names, aliases, blurbs)
+    POST   /v1/jobs              submit; 200 on a store hit, 202 queued
+    GET    /v1/jobs              list job summaries
+    GET    /v1/jobs/<id>         one job, result included when done
+    GET    /v1/jobs/<id>/events  NDJSON event stream (``?from=N`` resumes)
+    DELETE /v1/jobs/<id>         request cancellation
+    GET    /v1/store/stats       result-store shard statistics
+
+Errors are always ``{"error": {"code": ..., "message": ...}}`` with the
+matching HTTP status (400 ``bad_request``, 404 ``not_found``,
+405 ``method_not_allowed``, 500 ``internal``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.jobs import MappingService, RequestError
+
+#: bound on accepted request bodies; a kernel or DFG payload is small,
+#: anything bigger is a mistake or abuse
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _engine_listing() -> Dict[str, object]:
+    from repro.core.engine import (
+        ENGINE_ALIASES,
+        ENGINE_DESCRIPTIONS,
+        ENGINE_NAMES,
+    )
+
+    return {
+        "engines": [
+            {
+                "name": name,
+                "description": ENGINE_DESCRIPTIONS[name],
+                "aliases": sorted(a for a, c in ENGINE_ALIASES.items()
+                                  if c == name and a != name),
+            }
+            for name in ENGINE_NAMES
+        ]
+    }
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Dispatches requests onto the handler thread's shared service."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> MappingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        if getattr(self.server, "quiet", False):
+            return
+        BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(status, {"error": {"code": code, "message": message}})
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str],
+                              Dict[str, list]]:
+        """``(collection, job_id, subresource, query)`` for the URL."""
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        segments = [s for s in parts.path.split("/") if s]
+        if segments[:1] == ["healthz"]:
+            return "healthz", None, None, query
+        if segments[:1] != ["v1"]:
+            return "", None, None, query
+        rest = segments[1:]
+        if not rest:
+            return "", None, None, query
+        head = rest[0]
+        if head == "jobs":
+            job_id = rest[1] if len(rest) > 1 else None
+            sub = rest[2] if len(rest) > 2 else None
+            if len(rest) > 3:
+                return "", None, None, query
+            return "jobs", job_id, sub, query
+        if rest == ["engines"]:
+            return "engines", None, None, query
+        if rest == ["store", "stats"]:
+            return "store_stats", None, None, query
+        return "", None, None, query
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            collection, job_id, sub, query = self._route()
+            if collection == "healthz":
+                self._send_json(200, self.service.health())
+            elif collection == "engines":
+                self._send_json(200, _engine_listing())
+            elif collection == "store_stats":
+                store = self.service.store
+                self._send_json(200, {
+                    "store": store.stats() if store is not None else None})
+            elif collection == "jobs" and job_id is None:
+                jobs = [job.view(include_result=False)
+                        for job in self.service.jobs.values()]
+                self._send_json(200, {"jobs": jobs})
+            elif collection == "jobs" and sub is None:
+                job = self.service.get(job_id)
+                self._send_json(200, {"job": job.view()})
+            elif collection == "jobs" and sub == "events":
+                self._stream_events(job_id, query)
+            else:
+                self._send_error_json(404, "not_found",
+                                      f"no such resource: {self.path}")
+        except KeyError as exc:
+            self._send_error_json(404, "not_found", str(exc))
+        except RequestError as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        except BrokenPipeError:
+            pass  # client went away mid-stream; nothing to answer
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, "internal", repr(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            collection, job_id, sub, _ = self._route()
+            if collection != "jobs" or job_id is not None or sub is not None:
+                self._send_error_json(404, "not_found",
+                                      f"no such resource: {self.path}")
+                return
+            payload = self._read_body()
+            job = self.service.submit(payload)
+            # a store hit completes synchronously: answer 200 with the
+            # full result; a miss is queued work, answer 202 Accepted
+            if job.status == "done":
+                self._send_json(200, {"job": job.view()})
+            else:
+                self._send_json(202, {"job": job.view(include_result=False)})
+        except RequestError as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, "internal", repr(exc))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            collection, job_id, sub, _ = self._route()
+            if collection != "jobs" or job_id is None or sub is not None:
+                self._send_error_json(404, "not_found",
+                                      f"no such resource: {self.path}")
+                return
+            job = self.service.cancel(job_id)
+            self._send_json(200, {"job": job.view(include_result=False)})
+        except KeyError as exc:
+            self._send_error_json(404, "not_found", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, "internal", repr(exc))
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._send_error_json(405, "method_not_allowed",
+                              "PUT is not supported")
+
+    # ------------------------------------------------------------------ #
+    def _stream_events(self, job_id: str, query: Dict[str, list]) -> None:
+        """NDJSON event stream; blocks until the job is terminal."""
+        start = 0
+        if "from" in query:
+            try:
+                start = int(query["from"][0])
+            except (ValueError, IndexError) as exc:
+                raise RequestError("'from' must be an integer") from exc
+            if start < 0:
+                raise RequestError("'from' must be >= 0")
+        events = self.service.stream_events(job_id, start=start)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        # length is unknown up front; close the connection to delimit
+        self.send_header("Connection", "close")
+        self.end_headers()
+        for event in events:
+            self.wfile.write(
+                (json.dumps(event, sort_keys=True) + "\n").encode("utf-8"))
+            self.wfile.flush()
+        self.close_connection = True
+
+
+def create_server(
+    service: MappingService,
+    host: str = "127.0.0.1",
+    port: int = 8780,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server around ``service`` (not yet serving).
+
+    The caller owns both lifecycles: ``server.serve_forever()`` /
+    ``server.shutdown()`` for the HTTP side, ``service.shutdown()`` for
+    the worker pool. Tests run ``serve_forever`` on a daemon thread.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.quiet = quiet  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,214 @@
+"""The content-addressed mapping-result store.
+
+This module owns the *key derivation* and the *persistence format* shared
+by the batch experiment cache and the compile service:
+
+**Key derivation.** A result is addressed by :func:`content_key`: the
+SHA-256 digest (truncated to 24 hex characters) of the canonical JSON
+serialisation (sorted keys, no whitespace variance) of the *configuration
+record* that produced it. Everything that can change the result must be in
+the record -- the DFG content (not its name), the resolved fabric, the
+engine, optimization level/passes, solver backend, the resolved RNG seed
+of the stochastic engines, and the time budget -- and nothing else, so
+equal configurations collide onto one key whatever their spelling.
+:meth:`repro.experiments.batch.BatchCase.cache_key` and
+:meth:`repro.service.jobs.MapRequest.store_record` both build their
+records under this contract.
+
+**Persistence.** Two layouts, one class:
+
+* *sharded directory* (the service's layout): ``root/shards/<xx>.jsonl``
+  where ``xx`` is the first two hex characters of the key, giving up to
+  256 shard files that stay small and append-contended only by requests
+  that share a prefix. Every record is one JSON line ``{"key": ...,
+  "record": ...}`` written with a single ``write()`` call, so concurrent
+  appenders interleave whole lines (POSIX append semantics), and a torn
+  final line from a crash is skipped by the loader.
+* *single JSONL file* (the historical batch-cache layout, selected by a
+  path ending in ``.jsonl``): the same line format the batch runner has
+  always written (``{"key": ..., "case": ..., "result": ...}`` plus
+  optional ``{"header": ...}`` provenance lines, which carry no key and
+  are ignored by the loader).
+
+**Readers never write.** Opening a store never creates directories,
+files, or header lines; all writes happen inside :meth:`ResultStore.put`
+(and the header, when one is configured, is written lazily right before
+the first record). A store opened with ``writable=False`` refuses
+:meth:`~ResultStore.put` outright -- client-mode opens are guaranteed
+side-effect-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+#: truncated-digest length; 96 bits of SHA-256 -- collision-safe for any
+#: realistic store size while keeping keys short enough to read in logs
+KEY_HEX_CHARS = 24
+
+#: number of leading key characters that select a shard file (256 shards)
+SHARD_PREFIX_CHARS = 2
+
+
+def content_key(record: Dict[str, object]) -> str:
+    """The store key of a configuration record.
+
+    ``record`` must be JSON-serialisable; the key is the truncated SHA-256
+    of its canonical dump (``sort_keys=True``), so key equality is exactly
+    structural equality of the record.
+    """
+    payload = json.dumps(record, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:KEY_HEX_CHARS]
+
+
+def file_content_hash(path: str) -> str:
+    """Full SHA-256 of a file's bytes (arch-spec files in cache keys)."""
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+class ResultStore:
+    """A content-addressed record store over sharded (or single) JSONL.
+
+    Args:
+        path: a directory (sharded layout) or a ``*.jsonl`` file path
+            (the flat batch-cache layout).
+        writable: when ``False`` the store is a pure reader --
+            :meth:`put` raises and nothing on disk is ever created or
+            modified, not even for a path that does not exist yet.
+        header: optional provenance record; written once as a keyless
+            ``{"header": ...}`` line immediately before the first
+            :meth:`put` of this store instance (never on open, so a run
+            that only *reads* leaves the file byte-identical).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        writable: bool = True,
+        header: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.path = path
+        self.writable = writable
+        self.header = header
+        self._sharded = not path.endswith(".jsonl")
+        self._index: Optional[Dict[str, Dict[str, object]]] = None
+        self._header_written = False
+        self._appends = 0
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def _shard_path(self, key: str) -> str:
+        return os.path.join(
+            self.path, "shards", f"{key[:SHARD_PREFIX_CHARS]}.jsonl"
+        )
+
+    def _iter_files(self) -> Iterator[str]:
+        if not self._sharded:
+            if os.path.exists(self.path):
+                yield self.path
+            return
+        shard_dir = os.path.join(self.path, "shards")
+        if not os.path.isdir(shard_dir):
+            return
+        for name in sorted(os.listdir(shard_dir)):
+            if name.endswith(".jsonl"):
+                yield os.path.join(shard_dir, name)
+
+    @staticmethod
+    def _iter_records(path: str) -> Iterator[Tuple[str, Dict[str, object]]]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                except (ValueError, KeyError, TypeError):
+                    continue  # header / truncated / foreign lines
+                if isinstance(record, dict) and isinstance(key, str):
+                    yield key, record
+
+    def _load(self) -> Dict[str, Dict[str, object]]:
+        if self._index is None:
+            self._index = {}
+            for path in self._iter_files():
+                for key, record in self._iter_records(path):
+                    self._index[key] = record
+        return self._index
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The full stored line-record for ``key``, or ``None``."""
+        return self._load().get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def keys(self):
+        return self._load().keys()
+
+    def stats(self) -> Dict[str, object]:
+        """Size/layout summary (the service's ``/v1/store/stats``)."""
+        index = self._load()
+        shards = sum(1 for _ in self._iter_files())
+        return {
+            "path": self.path,
+            "layout": "sharded" if self._sharded else "jsonl",
+            "records": len(index),
+            "files": shards,
+            "appends_this_session": self._appends,
+            "writable": self.writable,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _append_line(self, path: str, text: str) -> None:
+        # one write() call per line: concurrent appenders (batch workers,
+        # service workers) interleave whole records, never fragments
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _target_path(self, key: str) -> str:
+        if not self._sharded:
+            return self.path
+        shard_dir = os.path.join(self.path, "shards")
+        os.makedirs(shard_dir, exist_ok=True)
+        return self._shard_path(key)
+
+    def put(self, key: str, record: Dict[str, object]) -> None:
+        """Append ``record`` under ``key`` and index it in memory.
+
+        ``record`` is stored as the line ``{"key": key, **record}`` --
+        callers choose the payload fields (the batch runner stores
+        ``case``/``result``, the service stores ``request``/``result``).
+        The configured header, if any, is written lazily before the first
+        record of this instance.
+        """
+        if not self.writable:
+            raise PermissionError(
+                f"result store {self.path!r} was opened read-only"
+            )
+        if "key" in record and record["key"] != key:
+            raise ValueError("record carries a conflicting 'key' field")
+        line_record = {"key": key, **record}
+        target = self._target_path(key)
+        if self.header is not None and not self._header_written:
+            self._append_line(target if not self._sharded
+                              else os.path.join(self.path, "header.jsonl"),
+                              json.dumps({"header": self.header},
+                                         sort_keys=True))
+            self._header_written = True
+        self._append_line(target, json.dumps(line_record, sort_keys=True))
+        self._appends += 1
+        self._load()[key] = line_record

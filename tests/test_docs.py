@@ -1,0 +1,79 @@
+"""Tier-1 wrapper around the docs consistency checker (tools/check_docs.py).
+
+Keeps the documentation contract inside the ordinary test run: relative
+links must resolve and every documented CLI example must match the real
+parser surface (and vice versa -- every subcommand must be documented).
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", os.path.join(REPO_ROOT, "tools", "check_docs.py"))
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestRepositoryDocs:
+    def test_no_dead_links(self):
+        assert check_docs.check_links(check_docs.doc_files()) == []
+
+    def test_no_cli_drift(self):
+        assert check_docs.check_cli_drift(check_docs.doc_files()) == []
+
+    def test_every_doc_is_covered(self):
+        names = {os.path.basename(p) for p in check_docs.doc_files()}
+        assert "README.md" in names
+        assert "index.md" in names
+        assert "service.md" in names
+
+
+class TestCheckerDetectsProblems:
+    """The checks must actually fail on broken docs, not just pass."""
+
+    def test_dead_link_detected(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](no/such/file.md) and "
+                       "[ok](https://example.com)")
+        problems = check_docs.check_links([str(bad)])
+        assert len(problems) == 1
+        assert "no/such/file.md" in problems[0]
+
+    def test_unknown_flag_detected(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("run `repro-map map --no-such-flag 1`\n"
+                       "and `repro-serve start --port 1`\n")
+        problems = check_docs.check_cli_drift([str(bad)])
+        assert any("--no-such-flag" in p for p in problems)
+        # the real flag produced no complaint
+        assert not any("--port" in p for p in problems)
+
+    def test_unknown_subcommand_detected(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("`repro-map transmogrify --fast`")
+        problems = check_docs.check_cli_drift([str(bad)])
+        assert any("transmogrify" in p for p in problems)
+
+    def test_missing_subcommand_mention_detected(self, tmp_path):
+        sparse = tmp_path / "sparse.md"
+        sparse.write_text("only `repro-map map` is mentioned here")
+        problems = check_docs.check_cli_drift([str(sparse)])
+        assert any("repro-map sweep" in p for p in problems)
+        assert any("repro-serve start" in p for p in problems)
+
+    def test_continuation_lines_are_joined(self, tmp_path):
+        doc = tmp_path / "wrapped.md"
+        doc.write_text("repro-map sweep --sizes 2x2 \\\n"
+                       "    --jobs 4 --bogus-flag\n")
+        problems = check_docs.check_cli_drift([str(doc)])
+        assert any("--bogus-flag" in p for p in problems)
+        assert not any("--jobs" in p for p in problems)
+
+    def test_parser_surface_includes_forwarded_drivers(self):
+        surface = check_docs.cli_surfaces()["repro-map"]
+        assert "--remote" in surface["map"]
+        assert "--strategy" in surface["map"]
+        assert "--opt-levels" in surface["optsweep"]  # inline driver parser
+        serve = check_docs.cli_surfaces()["repro-serve"]
+        assert "--store" in serve["start"]

@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Documentation consistency checker (run by CI's docs job).
+
+Two families of checks over ``README.md`` and ``docs/*.md``:
+
+1. **Dead links** -- every relative markdown link target must exist in
+   the repository (anchors are stripped; external ``http(s)``/``mailto``
+   links and GitHub-web-relative links that escape the repo are skipped).
+
+2. **CLI drift** -- the docs and the actual parsers must agree:
+
+   * every ``repro-map`` / ``repro-serve`` subcommand must be mentioned
+     (as ``repro-map <sub>``) somewhere in the docs, so a new subcommand
+     ships documented;
+   * every documented command example may only use subcommands and flags
+     the parsers actually accept, so a removed or renamed flag fails CI
+     instead of rotting in the docs. The forwarded experiment drivers
+     (``table3``, ``fig5``, ...) keep their parsers inline in their
+     ``main()``; their flag sets are recovered by scanning the driver
+     sources for ``add_argument("--...")`` literals.
+
+Exit status 0 when clean; 1 with one line per finding otherwise. The
+tier-1 suite runs the same checks through ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: documentation files under the drift contract
+DOC_GLOBS = ("README.md", "docs")
+
+#: repro-map subcommands whose parsers live inline in experiment drivers
+FORWARDED_DRIVERS = {
+    "table3": "src/repro/experiments/table3.py",
+    "fig5": "src/repro/experiments/fig5.py",
+    "ablation": "src/repro/experiments/ablation.py",
+    "archsweep": "src/repro/experiments/arch_sweep.py",
+    "optsweep": "src/repro/experiments/opt_sweep.py",
+    "table1": "src/repro/experiments/table1_table2.py",
+}
+
+#: flags argparse provides on every parser
+ALWAYS_OK_FLAGS = {"-h", "--help", "--version"}
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_ADD_ARGUMENT_RE = re.compile(r"""add_argument\(\s*['"](--?[\w-]+)['"]""")
+
+
+def doc_files() -> List[str]:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs_dir, name))
+    return files
+
+
+# --------------------------------------------------------------------- #
+# Check 1: relative links resolve
+# --------------------------------------------------------------------- #
+def check_links(paths: List[str]) -> List[str]:
+    problems = []
+    for path in paths:
+        path = os.path.abspath(path)
+        base = os.path.dirname(path)
+        # a doc's links may climb to its repository root but not above it
+        # (a link that escapes -- like a README CI badge's ../../actions
+        # path -- is GitHub-web-relative, not a repository file)
+        root = REPO_ROOT if path.startswith(REPO_ROOT) else base
+        rel_name = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0]))
+            if not resolved.startswith(root):
+                # GitHub-web-relative (e.g. the CI badge's ../../actions
+                # link): not a repository file, nothing to check
+                continue
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{rel_name}: dead link -> {target}")
+    return problems
+
+
+# --------------------------------------------------------------------- #
+# Check 2: CLI surface vs documented commands
+# --------------------------------------------------------------------- #
+def _walk_parser(parser) -> Dict[str, Set[str]]:
+    """``{subcommand: accepted flags}`` for an argparse parser tree.
+
+    Nested subparsers (``repro-map arch show``) fold their flags into
+    the parent subcommand's set -- docs address them by the top-level
+    subcommand.
+    """
+    import argparse
+
+    surface: Dict[str, Set[str]] = {}
+
+    def flags_of(p, into: Set[str]) -> None:
+        for action in p._actions:
+            into.update(action.option_strings)
+            if isinstance(action, argparse._SubParsersAction):
+                for child in action.choices.values():
+                    flags_of(child, into)
+
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                flags = surface.setdefault(name, set())
+                flags_of(sub, flags)
+    return surface
+
+
+def _forwarded_flags() -> Dict[str, Set[str]]:
+    """Flag sets of the drivers whose parsers are inline in main()."""
+    surface: Dict[str, Set[str]] = {}
+    for name, rel_path in FORWARDED_DRIVERS.items():
+        with open(os.path.join(REPO_ROOT, rel_path),
+                  encoding="utf-8") as handle:
+            source = handle.read()
+        surface[name] = set(_ADD_ARGUMENT_RE.findall(source))
+    return surface
+
+
+def cli_surfaces() -> Dict[str, Dict[str, Set[str]]]:
+    """``{prog: {subcommand: flags}}`` for both console scripts."""
+    from repro.cli import build_parser as map_parser
+    from repro.service.cli import build_parser as serve_parser
+
+    repro_map = _walk_parser(map_parser())
+    for name, flags in _forwarded_flags().items():
+        repro_map.setdefault(name, set()).update(flags)
+    return {
+        "repro-map": repro_map,
+        "repro-serve": _walk_parser(serve_parser()),
+    }
+
+
+_PROG_RE = re.compile(r"\b(repro-map|repro-serve)\s+(\S+)")
+
+
+def _documented_commands(paths: List[str]) -> List[Tuple[str, str, str, List[str]]]:
+    """Every ``(file:line, prog, subcommand, flags)`` the docs mention.
+
+    Handles backslash continuation lines, strips markdown/inline-code
+    punctuation, and ignores prose mentions of the bare program name.
+    """
+    mentions = []
+    for path in paths:
+        rel_name = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        # join shell continuation lines so a wrapped example is one command
+        joined: List[Tuple[int, str]] = []
+        buffer, start = "", 0
+        for number, line in enumerate(lines, 1):
+            if buffer:
+                buffer = buffer.rstrip("\\") + " " + line.strip()
+            else:
+                buffer, start = line, number
+            if buffer.rstrip().endswith("\\"):
+                continue
+            joined.append((start, buffer))
+            buffer = ""
+        if buffer:
+            joined.append((start, buffer))
+
+        for number, line in joined:
+            for match in _PROG_RE.finditer(line):
+                prog = match.group(1)
+                rest = line[match.end(1):]
+                tokens = [t.strip("`'\",()|;.") for t in rest.split()]
+                tokens = [t for t in tokens if t]
+                if not tokens or tokens[0].startswith("-"):
+                    # bare mention or a global flag like --help
+                    continue
+                sub = tokens[0]
+                if not re.fullmatch(r"[a-z][a-z0-9_-]*", sub):
+                    continue  # prose ("repro-map is ..."), not a command
+                flags = []
+                for token in tokens[1:]:
+                    if token in ("&&", "||", "|", "&", ">", ">>", "<"):
+                        break
+                    if token.startswith("--"):
+                        flags.append(token.split("=", 1)[0])
+                mentions.append((f"{rel_name}:{number}", prog, sub, flags))
+    return mentions
+
+
+def check_cli_drift(paths: List[str]) -> List[str]:
+    problems = []
+    surfaces = cli_surfaces()
+    mentions = _documented_commands(paths)
+
+    # every real subcommand must be documented somewhere
+    documented: Dict[str, Set[str]] = {prog: set() for prog in surfaces}
+    for _, prog, sub, _ in mentions:
+        documented[prog].add(sub)
+    for prog, surface in surfaces.items():
+        for sub in sorted(set(surface) - documented[prog]):
+            problems.append(
+                f"docs never mention `{prog} {sub}` -- document the "
+                "subcommand or remove it")
+
+    # every documented example must use real subcommands and flags
+    for where, prog, sub, flags in mentions:
+        surface = surfaces[prog]
+        if sub not in surface:
+            problems.append(
+                f"{where}: `{prog} {sub}` is not a {prog} subcommand")
+            continue
+        for flag in flags:
+            if flag not in surface[sub] and flag not in ALWAYS_OK_FLAGS:
+                problems.append(
+                    f"{where}: `{prog} {sub}` does not accept {flag}")
+    return problems
+
+
+def main() -> int:
+    paths = doc_files()
+    problems = check_links(paths) + check_cli_drift(paths)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)")
+        return 1
+    print(f"docs ok: {len(paths)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.exit(main())
