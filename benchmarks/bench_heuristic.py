@@ -29,7 +29,6 @@ the repository root. CI's heuristic-smoke job runs the small set
 uploads the artifact.
 """
 
-import json
 import os
 import pathlib
 import time
@@ -40,6 +39,7 @@ from repro.core.config import BaselineConfig, HeuristicConfig, MapperConfig
 from repro.core.mapper import MonomorphismMapper
 from repro.core.validation import validate_mapping
 from repro.heuristic.engine import HeuristicMapper, resolve_seed
+from repro.perf.history import update_artifact
 from repro.workloads.suite import load_benchmark
 
 ARTIFACT_PATH = (
@@ -162,8 +162,13 @@ def test_heuristic_speedup_within_ii_gap(bench_timeout):
             r["heuristic_ii"] - r["exact_ii"] for r in records),
         "results": records,
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n",
-                             encoding="utf-8")
+    update_artifact(ARTIFACT_PATH, artifact, {
+        "label": "heuristic-vs-coupled",
+        "backend_tier": "arena",
+        "benchmarks": benchmarks,
+        "speedup": round(speedup, 3),
+        "max_ii_gap": artifact["max_ii_gap"],
+    })
     print(f"\ntotal: heuristic {heuristic_total:.3f}s, coupled exact "
           f"{coupled_total:.3f}s -> {speedup:.2f}x "
           f"(threshold {SPEEDUP_THRESHOLD}x); artifact at {ARTIFACT_PATH}")

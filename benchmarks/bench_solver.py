@@ -33,7 +33,6 @@ job runs the small set (``REPRO_BENCH_SOLVER_SMALL=1``) against the same
 threshold.
 """
 
-import json
 import os
 import pathlib
 import time
@@ -42,6 +41,7 @@ from repro.arch.cgra import CGRA
 from repro.baseline.satmapit import SatMapItMapper, _CoupledEncoding
 from repro.core.config import BaselineConfig
 from repro.core.mapper import begin_mapping
+from repro.perf.history import update_artifact
 from repro.workloads.suite import load_benchmark
 from repro.smt.sat import SolveStatus
 
@@ -60,6 +60,12 @@ ENUMERATION_SIDE = 8
 SCHEDULES_PER_II = 16
 #: asserted end-to-end speedup of the arena kernel over the pre-rewrite one
 SPEEDUP_THRESHOLD = 1.5
+#: target end-to-end speedup of the native C tier over the arena kernel
+#: (the assertion floor is 1.0x with C, NATIVE_FALLBACK_FLOOR otherwise)
+NATIVE_TARGET_SPEEDUP = 1.5
+#: noise allowance when only a fallback tier (numpy/arena) is available:
+#: the executed code is then nearly identical to the arena leg
+NATIVE_FALLBACK_FLOOR = 0.8
 #: best-of runs per leg (absorbs scheduler noise without hiding regressions)
 RUNS = 2
 
@@ -77,7 +83,8 @@ def _config(backend: str, timeout: float) -> BaselineConfig:
                               solver_backend="reference",
                               legacy_solver_sync=True)
     return BaselineConfig(timeout_seconds=timeout,
-                          total_timeout_seconds=timeout)
+                          total_timeout_seconds=timeout,
+                          solver_backend=backend)
 
 
 def _run_map(dfg, backend: str, timeout: float):
@@ -202,12 +209,88 @@ def test_arena_kernel_end_to_end_speedup(bench_timeout):
         "speedup": round(speedup, 3),
         "records": records,
     }
-    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n",
-                             encoding="utf-8")
+    update_artifact(ARTIFACT_PATH, artifact, {
+        "label": "arena-vs-reference",
+        "backend_tier": "arena",
+        "benchmarks": benchmarks,
+        "speedup": round(speedup, 3),
+    })
     print(f"\ntotal: arena {arena_total:.3f}s, reference "
           f"{reference_total:.3f}s ({speedup:.2f}x); artifact written to "
           f"{ARTIFACT_PATH}")
     assert speedup >= SPEEDUP_THRESHOLD, (
         f"flat-arena kernel only {speedup:.2f}x faster than the pre-rewrite "
         f"stack (threshold {SPEEDUP_THRESHOLD}x)"
+    )
+
+
+def test_native_backend_end_to_end_speedup(bench_timeout):
+    """The native tier is no slower than arena end to end (target: faster).
+
+    Measured on the same 8x8 schedule-enumeration workload as the arena
+    leg. With the C tier built this asserts parity and targets
+    :data:`NATIVE_TARGET_SPEEDUP`; when only a fallback tier is available
+    (no C toolchain -- the code is then nearly identical to arena) the
+    assertion allows scheduler noise down to
+    :data:`NATIVE_FALLBACK_FLOOR`.
+    """
+    from repro.smt.native import selected_tier
+
+    benchmarks = _benchmark_set()
+    timeout = max(bench_timeout, 60.0)
+    tier = selected_tier()
+    records = []
+    arena_total = 0.0
+    native_total = 0.0
+    for name in benchmarks:
+        dfg = load_benchmark(name)
+        arena_result, arena_count, arena_map, arena_enum = _measure(
+            dfg, "arena", timeout)
+        nat_result, nat_count, nat_map, nat_enum = _measure(
+            dfg, "native", timeout)
+        # bit-identical results are the native backend's contract
+        assert nat_result.status == arena_result.status, name
+        assert nat_result.ii == arena_result.ii, name
+        assert nat_count == arena_count, name
+        arena_seconds = arena_map + arena_enum
+        native_seconds = nat_map + nat_enum
+        arena_total += arena_seconds
+        native_total += native_seconds
+        records.append({
+            "benchmark": name,
+            "cgra": f"{ENUMERATION_SIDE}x{ENUMERATION_SIDE}",
+            "status": nat_result.status.value,
+            "ii": nat_result.ii,
+            "schedules_enumerated": nat_count,
+            "arena_map_seconds": round(arena_map, 6),
+            "arena_enum_seconds": round(arena_enum, 6),
+            "native_map_seconds": round(nat_map, 6),
+            "native_enum_seconds": round(nat_enum, 6),
+            "speedup": round(arena_seconds / native_seconds, 3),
+        })
+        print(f"\n{name}: native[{tier}] {native_seconds:.3f}s "
+              f"(map {nat_map:.3f} + enum {nat_enum:.3f}), "
+              f"arena {arena_seconds:.3f}s, "
+              f"{arena_seconds / native_seconds:.2f}x")
+    speedup = arena_total / native_total
+    update_artifact(ARTIFACT_PATH, {
+        "native_tier": tier,
+        "native_seconds": round(native_total, 6),
+        "native_arena_seconds": round(arena_total, 6),
+        "native_speedup": round(speedup, 3),
+        "native_records": records,
+    }, {
+        "label": "native-vs-arena",
+        "backend_tier": tier,
+        "benchmarks": benchmarks,
+        "speedup": round(speedup, 3),
+        "target_speedup": NATIVE_TARGET_SPEEDUP,
+    })
+    print(f"\ntotal: native[{tier}] {native_total:.3f}s, arena "
+          f"{arena_total:.3f}s ({speedup:.2f}x); artifact written to "
+          f"{ARTIFACT_PATH}")
+    floor = 1.0 if tier == "native-c" else NATIVE_FALLBACK_FLOOR
+    assert speedup >= floor, (
+        f"native backend ({tier} tier) ran {speedup:.2f}x vs arena "
+        f"(floor {floor}x, target {NATIVE_TARGET_SPEEDUP}x)"
     )

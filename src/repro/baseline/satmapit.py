@@ -47,6 +47,7 @@ from repro.core.mapper import (
 from repro.core.mapping import Mapping
 from repro.core.time_solver import Schedule
 from repro.core.validation import assert_valid_mapping
+from repro.smt.native import resolved_tier as native_resolved_tier
 from repro.graphs.analysis import (
     critical_path_length,
     mobility_schedule,
@@ -274,6 +275,9 @@ class SatMapItMapper:
         perf = PerfCounters(detailed=self.config.profile)
         perf.extra["engine"] = "satmapit"
         perf.extra["backend"] = self.config.solver_backend
+        tier = native_resolved_tier(self.config.solver_backend)
+        if tier is not None:
+            perf.extra["solver_tier"] = tier
 
         # pre-mapping optimization shrinks the coupled encoding just like
         # the decoupled one: fewer nodes means fewer nodes x II x PEs vars

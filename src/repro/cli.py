@@ -70,6 +70,17 @@ from repro.sim.machine import DataMemory
 from repro.workloads.suite import benchmark_names, load_benchmark, spec
 
 
+#: --solver-backend choice surface (map / profile / sweep share it)
+SOLVER_BACKENDS = (
+    ("arena", "pure-Python flat-arena CDCL kernel (default)"),
+    ("native", "fastest available compiled tier: C, numpy or arena"),
+    ("native-c", "force the cffi-compiled C kernel (errors if unbuildable)"),
+    ("numpy", "force the numpy-vectorized tier"),
+    ("reference", "pre-rewrite kernel (differential-testing oracle)"),
+)
+SOLVER_BACKEND_CHOICES = [name for name, _ in SOLVER_BACKENDS]
+
+
 def _catalog() -> Iterator[Tuple[str, str, str]]:
     """Everything mappable or targetable, as (kind, name, details) rows."""
     for name in benchmark_names():
@@ -87,6 +98,8 @@ def _catalog() -> Iterator[Tuple[str, str, str]]:
     for name in ENGINE_NAMES:
         yield ("approach", name,
                f"{ENGINE_DESCRIPTIONS[name]} (--approach)")
+    for name, details in SOLVER_BACKENDS:
+        yield ("solver backend", name, f"{details} (--solver-backend)")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -304,11 +317,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         solver_backend=args.solver_backend,
         seed=args.seed,
     )
+    kernel = args.solver_backend
+    tiers = {record["stats"].get("solver_tier") for record in records}
+    tiers.discard(None)
+    if tiers:
+        # the native backend resolves to a concrete tier at solve time
+        kernel += " -> " + "/".join(sorted(tiers))
     table = Table(
         headers=["Benchmark", "Status", "II", "Encode", "Solve", "Propagate",
                  "Analyze", "Space", "Conflicts", "Props", "Learnts"],
         title=f"Profile -- {args.approach} on {args.cgra}"
-              f" ({args.solver_backend} kernel)",
+              f" ({kernel} kernel)",
     )
     for record in records:
         seconds = record["stats"]["seconds"]
@@ -465,8 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "then the built-in constant; see "
                                  "docs/mapping-engines.md)")
     map_parser.add_argument("--solver-backend", default="arena",
-                            choices=["arena", "reference"],
-                            help="SAT kernel behind the exact engines")
+                            choices=SOLVER_BACKEND_CHOICES,
+                            help="SAT kernel behind the exact engines "
+                                 "(native = fastest available compiled "
+                                 "tier, bit-identical to arena)")
     map_parser.add_argument("--strategy", default="ascend",
                             choices=["ascend", "refine"],
                             help="heuristic II sweep: ascend stops at the "
@@ -551,9 +572,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--seed", type=int, default=None,
                                 help="RNG seed for the stochastic engines")
     profile_parser.add_argument("--solver-backend", default="arena",
-                                choices=["arena", "reference"],
-                                help="SAT kernel (reference = pre-rewrite "
-                                     "oracle)")
+                                choices=SOLVER_BACKEND_CHOICES,
+                                help="SAT kernel (native = compiled tier, "
+                                     "reference = pre-rewrite oracle)")
     profile_parser.add_argument("--timeout", type=float, default=120.0)
     profile_parser.add_argument("--opt-level", default="O0",
                                 help=f"O0..O{MAX_OPT_LEVEL} (default O0)")
@@ -592,7 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="explicit optimization pass list "
                                    "overriding --opt-level")
     sweep_parser.add_argument("--solver-backend", default=None,
-                              choices=["arena", "reference"],
+                              choices=SOLVER_BACKEND_CHOICES,
                               help="SAT kernel scenario column: pin the "
                                    "kernel behind the exact engines "
                                    "(default: arena; part of the batch "

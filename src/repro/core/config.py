@@ -84,7 +84,11 @@ class MapperConfig:
             (the CLI's ``--passes``); names from
             :func:`repro.opt.passes.pass_names`.
         solver_backend: SAT kernel behind the SMT layer: ``"arena"`` (the
-            flat-arena kernel of :mod:`repro.smt.sat`, the default) or
+            flat-arena kernel of :mod:`repro.smt.sat`, the default),
+            ``"native"`` (the fastest available compiled tier of the same
+            kernel -- cffi-built C, numpy, or arena, bit-identical results;
+            see :mod:`repro.smt.native`), ``"native-c"`` / ``"numpy"``
+            (force one native tier, erroring when unavailable) or
             ``"reference"`` (the pre-rewrite kernel preserved in
             :mod:`repro.smt.sat_reference`, used by the differential suite
             and ``benchmarks/bench_solver.py``).
@@ -293,7 +297,8 @@ class BaselineConfig:
     validate: bool = True
     opt_level: Union[int, str] = 0
     opt_passes: Optional[Tuple[str, ...]] = None
-    #: SAT kernel: "arena" (default) or "reference" (pre-rewrite oracle)
+    #: SAT kernel: "arena" (default), "native"/"native-c"/"numpy"
+    #: (compiled tiers, bit-identical) or "reference" (pre-rewrite oracle)
     solver_backend: str = "arena"
     #: detailed per-phase wall clock inside the solver (repro-map profile)
     profile: bool = False

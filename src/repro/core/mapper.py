@@ -48,6 +48,7 @@ from repro.core.validation import assert_valid_mapping
 from repro.graphs.analysis import critical_path_length, rec_ii, res_ii
 from repro.graphs.dfg import DFG
 from repro.perf import PerfCounters
+from repro.smt.native import resolved_tier as native_resolved_tier
 
 
 class MappingStatus(enum.Enum):
@@ -244,6 +245,9 @@ class MonomorphismMapper:
         perf = PerfCounters(detailed=self.config.profile)
         perf.extra["engine"] = "monomorphism"
         perf.extra["backend"] = self.config.solver_backend
+        tier = native_resolved_tier(self.config.solver_backend)
+        if tier is not None:
+            perf.extra["solver_tier"] = tier
         self._perf = perf
         dfg, opt_result = run_pre_mapping_opt(dfg, self.cgra, self.config)
         resource_ii, recurrence_ii, mii, infeasible = begin_mapping(dfg, self.cgra)

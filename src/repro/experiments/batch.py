@@ -41,6 +41,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.workers import reap
 from repro.experiments.runner import CaseResult, normalize_approach, run_case
 from repro.service.store import ResultStore, content_key, file_content_hash
 
@@ -50,6 +51,10 @@ DEFAULT_KILL_GRACE_SECONDS = 30.0
 
 HARD_TIMEOUT_STATUS = "hard_timeout"
 ERROR_STATUS = "error"
+
+#: solver backends whose results are bit-identical to the arena kernel
+#: (the native tier family); they share the arena cache key
+ARENA_IDENTICAL_BACKENDS = frozenset({"native", "native-c", "numpy"})
 
 
 @dataclass(frozen=True)
@@ -130,7 +135,15 @@ class BatchCase:
             record["opt_level"] = self.opt_level
         if self.opt_passes:
             record["opt_passes"] = list(self.opt_passes)
-        if self.solver_backend is not None:
+        if (
+            self.solver_backend is not None
+            and self.solver_backend not in ARENA_IDENTICAL_BACKENDS
+        ):
+            # the native tiers are bit-identical to the arena kernel
+            # (proven by the differential suite), so they share its cache
+            # key: a sweep under "native" may replay arena results and
+            # vice versa. Only genuinely different kernels ("reference")
+            # fragment the cache.
             record["solver_backend"] = self.solver_backend
         if self.seed is not None:
             record["seed"] = self.seed
@@ -312,7 +325,10 @@ class BatchRunner:
             return self._synthetic_result(case, ERROR_STATUS, elapsed,
                                           message=str(payload))
         if elapsed > self._hard_deadline(case):
-            running.process.terminate()
+            # terminate -> kill -> join: workers wedged in C-level solver
+            # loops ignore SIGTERM (run() closes the pipe when it reaps
+            # the entry, so only the process is brought down here)
+            reap(running.process, grace=2.0)
             return self._synthetic_result(
                 case, HARD_TIMEOUT_STATUS, elapsed,
                 message=f"killed after {elapsed:.1f}s "
@@ -397,15 +413,12 @@ class BatchRunner:
                     )
                 for index in finished:
                     entry = running.pop(index)
-                    entry.process.join(timeout=5)
-                    entry.connection.close()
+                    reap(entry.process, entry.connection, terminate=False)
                 if not finished:
                     time.sleep(self.poll_interval)
         finally:
             for entry in running.values():
-                entry.process.terminate()
-                entry.process.join(timeout=5)
-                entry.connection.close()
+                reap(entry.process, entry.connection)
 
         report.elapsed_seconds = time.monotonic() - start
         return report

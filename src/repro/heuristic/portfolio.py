@@ -31,6 +31,7 @@ from repro.arch.cgra import CGRA
 from repro.core.config import PortfolioConfig
 from repro.core.engine import create_engine
 from repro.core.mapper import MappingResult, MappingStatus
+from repro.core.workers import reap
 from repro.graphs.dfg import DFG
 
 #: wall-clock grace on top of a parallel worker's soft budget before it is
@@ -193,8 +194,7 @@ class PortfolioMapper:
                         finished.append(name)
                 for name in finished:
                     process, connection = running.pop(name)
-                    process.join(timeout=5)
-                    connection.close()
+                    reap(process, connection, terminate=False)
                 if any(r.success and r.ii == r.mii
                        for r in results.values()):
                     short_circuited = True
@@ -205,9 +205,9 @@ class PortfolioMapper:
                     time.sleep(0.02)
         finally:
             for name, (process, connection) in running.items():
-                process.terminate()
-                process.join(timeout=5)
-                connection.close()
+                # terminate -> kill -> join: a worker wedged in a C-level
+                # solver loop ignores SIGTERM, and the race must not leak it
+                reap(process, connection)
                 if short_circuited:
                     errors.setdefault(
                         name,

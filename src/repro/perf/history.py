@@ -1,0 +1,92 @@
+"""Per-PR perf trajectory for the ``BENCH_*.json`` artifacts.
+
+The benchmark suites used to overwrite their artifact on every run, so the
+repository never accumulated a perf record: each PR's speedups replaced
+the previous PR's. :func:`update_artifact` keeps the latest-run summary
+fields readers rely on *and* appends a per-commit record -- git SHA, UTC
+date, backend tier, measured speedups -- to a ``history`` list that
+survives reruns:
+
+* summary fields are merged over the existing artifact, so independent
+  benchmark legs (e.g. the arena-vs-reference and native-vs-arena legs of
+  ``bench_solver.py``) can update one file without clobbering each other;
+* history entries are keyed by ``(label, git_sha)``: re-running a bench on
+  the same commit replaces its entry instead of duplicating it, while a
+  new commit appends -- one trajectory point per PR per measurement.
+
+A missing or corrupt artifact simply starts a fresh history; reading the
+trajectory is documented in docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import subprocess
+from typing import Dict, Optional
+
+
+def current_git_sha() -> Optional[str]:
+    """HEAD's commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _load(path: pathlib.Path) -> Dict[str, object]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def update_artifact(
+    path: pathlib.Path,
+    summary: Dict[str, object],
+    history_entry: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Merge ``summary`` into the artifact and append a history record.
+
+    ``history_entry`` should carry a ``label`` naming the measurement
+    (e.g. ``"native-vs-arena"``) plus whatever speedups/tiers the bench
+    recorded; the commit SHA and UTC date are stamped in here. Returns
+    the artifact as written.
+    """
+    data = _load(path)
+    history = data.get("history")
+    if not isinstance(history, list):
+        history = []
+    data.update(summary)
+    if history_entry is not None:
+        entry = dict(history_entry)
+        entry.setdefault("git_sha", current_git_sha())
+        entry.setdefault(
+            "date",
+            datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%d"),
+        )
+        label = entry.get("label")
+        history = [
+            old
+            for old in history
+            if not (
+                isinstance(old, dict)
+                and old.get("label") == label
+                and old.get("git_sha") == entry["git_sha"]
+            )
+        ]
+        history.append(entry)
+    data["history"] = history
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return data

@@ -60,9 +60,12 @@ def resolve_solver_backend(backend) -> type:
     """Map a backend name to a solver class.
 
     ``"arena"`` (the default) is the flat-arena kernel in
-    :mod:`repro.smt.sat`; ``"reference"`` is the pre-rewrite kernel kept in
-    :mod:`repro.smt.sat_reference` as the differential-testing oracle. A
-    class is passed through unchanged.
+    :mod:`repro.smt.sat`; ``"native"`` selects the fastest available
+    compiled tier of that kernel (C via cffi, numpy, or the arena solver
+    itself -- see :mod:`repro.smt.native`), with ``"native-c"`` and
+    ``"numpy"`` forcing a specific tier; ``"reference"`` is the
+    pre-rewrite kernel kept in :mod:`repro.smt.sat_reference` as the
+    differential-testing oracle. A class is passed through unchanged.
     """
     if backend is None:
         return SATSolver
@@ -71,12 +74,21 @@ def resolve_solver_backend(backend) -> type:
     name = str(backend).lower()
     if name in ("arena", "default", "flat"):
         return SATSolver
+    if name == "native":
+        from repro.smt.native import native_solver_class
+
+        return native_solver_class()
+    if name in ("native-c", "numpy"):
+        from repro.smt.native import tier_solver_class
+
+        return tier_solver_class(name)
     if name == "reference":
         from repro.smt.sat_reference import ReferenceSATSolver
 
         return ReferenceSATSolver
     raise ValueError(
-        f"unknown solver backend {backend!r}; expected 'arena' or 'reference'"
+        f"unknown solver backend {backend!r}; expected 'arena', 'native', "
+        "'native-c', 'numpy' or 'reference'"
     )
 
 

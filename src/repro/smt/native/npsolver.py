@@ -1,0 +1,78 @@
+"""The numpy solver tier: vectorised cold paths over the arena sidecars.
+
+:class:`NumpySATSolver` inherits the full pure-Python CDCL hot loop (so
+bit-identity with the arena tier is structural, not re-proven), and
+vectorises the two cold-path scans whose cost grows with the clause
+database and variable count rather than with the trail:
+
+* reduce-DB candidate selection -- the learnt/live/long/non-glue filter
+  and the (high LBD, low activity, low index) total order become one
+  boolean mask plus one ``np.lexsort`` over the clause sidecar arrays;
+* the VSIDS order-heap rebuild after a ``pop`` -- the unassigned-variable
+  scan becomes a vectorised mask.
+
+Both produce exactly the sequences the parent's Python loops produce (the
+lexsort keys mirror the stable-sort key tuple), so every backend
+observable is unchanged; ``tests/test_solver_differential.py`` holds the
+tiers to that.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from ..sat import GLUE_LBD, SATSolver
+
+
+class NumpySATSolver(SATSolver):
+    """Flat-arena CDCL solver with numpy-vectorised cold-path scans."""
+
+    def _reduce_doomed(self) -> List[int]:
+        n = len(self.c_off)
+        if not n:
+            return []
+        learnt = np.frombuffer(self.c_learnt, dtype=np.uint8, count=n)
+        dead = np.frombuffer(self.c_dead, dtype=np.uint8, count=n)
+        size = np.frombuffer(self.c_size, dtype=np.intc, count=n)
+        lbd = np.frombuffer(self.c_lbd, dtype=np.intc, count=n)
+        mask = (learnt != 0) & (dead == 0) & (size > 2) & (lbd > GLUE_LBD)
+        candidates = np.flatnonzero(mask)
+        if not candidates.size:
+            return []
+        arena = self.arena
+        c_off = self.c_off
+        vals = self.vals
+        reason = self.reason
+        unlocked = []
+        for ci in candidates.tolist():
+            lit0 = arena[c_off[ci]]
+            var = lit0 if lit0 > 0 else -lit0
+            if vals[lit0] > 0 and reason[var] == ci:
+                continue
+            unlocked.append(ci)
+        if not unlocked:
+            return []
+        idx = np.asarray(unlocked, dtype=np.intp)
+        act = np.asarray([self.c_act[ci] for ci in unlocked], dtype=np.float64)
+        # primary: high LBD first; tie: low activity; tie: low index --
+        # identical to the parent's stable sort by (-lbd, act) over
+        # ascending clause indices
+        order = np.lexsort((idx, act, -lbd[idx]))
+        doomed = idx[order[: idx.size // 2]]
+        return doomed.tolist()
+
+    def _rebuild_order_heap(self) -> None:
+        num_vars = self.num_vars
+        vals = np.asarray(self.vals[1:num_vars + 1], dtype=np.intc)
+        unassigned = np.flatnonzero(vals == 0) + 1
+        activity = self.activity
+        heap = [(-activity[v], v) for v in unassigned.tolist()]
+        heapq.heapify(heap)
+        member = bytearray(b"\x01" * (num_vars + 1))
+        for lit in self.trail:
+            member[lit if lit > 0 else -lit] = 0
+        self._order_heap = heap
+        self._heap_member = member

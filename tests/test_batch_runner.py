@@ -98,6 +98,21 @@ class TestBatchCase:
         assert o2.label().endswith("/O2")
         assert passes.label().endswith("/passes=constfold,dce")
 
+    def test_cache_key_folds_native_tiers_onto_the_arena_key(self):
+        # the native tiers are bit-identical to the arena solver (the
+        # differential backend matrix proves it), so their results are
+        # interchangeable and must share one cache key -- a cache built
+        # under "arena" keeps hitting when the native kernel lands
+        base = BatchCase("aes", "2x2", "mono", 30.0)
+        for backend in ("arena", "native", "native-c", "numpy"):
+            case = BatchCase("aes", "2x2", "mono", 30.0,
+                             solver_backend=backend)
+            assert case.cache_key() == base.cache_key(), backend
+        # the reference oracle is a different kernel: its own key
+        reference = BatchCase("aes", "2x2", "mono", 30.0,
+                              solver_backend="reference")
+        assert reference.cache_key() != base.cache_key()
+
     def test_opt_in_build_cases_grid(self):
         cases = build_cases(["a"], ["2x2"], ["mono"], 10.0, opt_level="O2",
                             opt_passes=None)

@@ -143,6 +143,21 @@ class TestBatchCacheHeader:
         args = build_parser().parse_args(["sweep", "--benchmarks", "bitcount"])
         assert args.jobs == (os.cpu_count() or 1)
 
+    def test_jobs_default_to_one_when_cpu_count_unknown(self, monkeypatch):
+        """``os.cpu_count()`` may return None; ``--jobs`` must default to 1.
+
+        The parser bakes the default in at build time, so the regression
+        is only visible when the parser is built *while* cpu_count is
+        unknowable -- exactly what containers with restricted procfs do.
+        """
+        import os
+
+        from repro.cli import build_parser
+
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        args = build_parser().parse_args(["sweep", "--benchmarks", "bitcount"])
+        assert args.jobs == 1
+
 
 class TestScheduleMemoization:
     def test_slot_population_is_cached_and_stable(self):
@@ -161,3 +176,88 @@ class TestScheduleMemoization:
         # immutable: callers cannot corrupt the shared cache in place
         with pytest.raises(AttributeError):
             first[0].add(999)
+
+
+class TestPerfHistory:
+    """The BENCH_*.json artifacts keep a per-commit trajectory."""
+
+    def test_fresh_artifact_gets_summary_and_one_history_entry(self, tmp_path):
+        from repro.perf.history import update_artifact
+
+        path = tmp_path / "BENCH.json"
+        written = update_artifact(
+            path,
+            {"workload": "w", "speedup": 2.5},
+            {"label": "native-vs-arena", "speedup": 2.5},
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == written
+        assert on_disk["workload"] == "w"
+        assert len(on_disk["history"]) == 1
+        entry = on_disk["history"][0]
+        assert entry["label"] == "native-vs-arena"
+        # stamped in: the commit SHA (or None outside a checkout) and a
+        # UTC date in YYYY-MM-DD
+        assert "git_sha" in entry
+        assert len(entry["date"]) == 10
+
+    def test_rerun_replaces_same_commit_entry_and_new_commit_appends(
+            self, tmp_path):
+        from repro.perf.history import update_artifact
+
+        path = tmp_path / "BENCH.json"
+        update_artifact(path, {"speedup": 1.0},
+                        {"label": "l", "git_sha": "aaa", "speedup": 1.0})
+        update_artifact(path, {"speedup": 2.0},
+                        {"label": "l", "git_sha": "aaa", "speedup": 2.0})
+        data = json.loads(path.read_text())
+        assert [e["speedup"] for e in data["history"]] == [2.0]
+        update_artifact(path, {"speedup": 3.0},
+                        {"label": "l", "git_sha": "bbb", "speedup": 3.0})
+        data = json.loads(path.read_text())
+        assert [e["speedup"] for e in data["history"]] == [2.0, 3.0]
+        assert data["speedup"] == 3.0  # summary tracks the latest run
+
+    def test_independent_labels_share_one_artifact(self, tmp_path):
+        from repro.perf.history import update_artifact
+
+        path = tmp_path / "BENCH.json"
+        update_artifact(path, {"arena_speedup": 4.0},
+                        {"label": "arena-vs-reference", "git_sha": "aaa"})
+        update_artifact(path, {"native_speedup": 1.8},
+                        {"label": "native-vs-arena", "git_sha": "aaa"})
+        data = json.loads(path.read_text())
+        # the second leg merged its summary without clobbering the first
+        assert data["arena_speedup"] == 4.0
+        assert data["native_speedup"] == 1.8
+        assert sorted(e["label"] for e in data["history"]) == [
+            "arena-vs-reference", "native-vs-arena"]
+
+    def test_corrupt_or_legacy_artifact_starts_a_fresh_history(
+            self, tmp_path):
+        from repro.perf.history import update_artifact
+
+        path = tmp_path / "BENCH.json"
+        path.write_text("not json {{{")
+        data = update_artifact(path, {"speedup": 1.5},
+                               {"label": "l", "git_sha": "aaa"})
+        assert data["speedup"] == 1.5
+        assert len(data["history"]) == 1
+        # a pre-history artifact (plain summary dict) is upgraded in place
+        path.write_text(json.dumps({"speedup": 9.9, "workload": "old"}))
+        data = update_artifact(path, {"speedup": 1.0},
+                               {"label": "l", "git_sha": "bbb"})
+        assert data["workload"] == "old"
+        assert data["speedup"] == 1.0
+        assert len(data["history"]) == 1
+
+    def test_summary_only_update_keeps_history(self, tmp_path):
+        from repro.perf.history import update_artifact
+
+        path = tmp_path / "BENCH.json"
+        update_artifact(path, {"speedup": 1.0}, {"label": "l",
+                                                 "git_sha": "aaa"})
+        update_artifact(path, {"extra": True})
+        data = json.loads(path.read_text())
+        assert data["extra"] is True
+        assert len(data["history"]) == 1

@@ -37,6 +37,24 @@ SEED_BASE = int(os.environ.get("REPRO_PROPERTY_SEED", "20260730"))
 TIME_PHASE_BENCHMARKS = ["bitcount", "gsm", "crc32"]
 
 
+def _available_native_tiers():
+    """Non-arena kernel tiers usable in this environment.
+
+    The numpy fallback rides on the repo's hard numpy dependency, so the
+    matrix always has at least one compiled tier; the C tier joins in
+    whenever cffi + a toolchain can build it (CI and the dev image both
+    can).
+    """
+    from repro.smt.native import KERNEL_TIERS
+
+    tiers = [
+        tier for tier in KERNEL_TIERS
+        if tier.name != "arena" and tier.available()
+    ]
+    assert tiers, "the numpy fallback tier must always be available"
+    return tiers
+
+
 def _random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> CNF:
     cnf = CNF()
     variables = [cnf.new_var() for _ in range(num_vars)]
@@ -50,6 +68,16 @@ def _random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> CNF:
 def _model_satisfies(result, cnf: CNF) -> bool:
     return all(any(result.value(lit) for lit in clause)
                for clause in cnf.clauses)
+
+
+def _random_3sat(rng: random.Random, num_vars: int, ratio: float = 4.2) -> CNF:
+    """Uniform width-3 CNF near the phase transition (conflict-heavy)."""
+    cnf = CNF()
+    variables = [cnf.new_var() for _ in range(num_vars)]
+    for _ in range(int(num_vars * ratio)):
+        chosen = rng.sample(variables, 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
 
 
 class TestRandomCNF:
@@ -229,3 +257,271 @@ class TestTimePhaseInstances:
             for s in problem.enumerate_solutions(block_on=[x, y])
         }
         assert seen == {(a, b) for a in range(4) for b in range(4) if b >= a + 1}
+
+
+class TestNativeBackendMatrix:
+    """Compiled tiers must be *bit-identical* to the arena solver.
+
+    The native tiers reuse the arena solver's state and algorithms (the C
+    kernel mirrors the hot loop, the numpy tier vectorises two cold
+    paths), so the contract is stronger than the reference oracle's: not
+    just equal statuses and core sets, but identical models, identical
+    core literal order, and identical conflict/decision/propagation
+    counters. ``BatchCase.cache_key`` relies on this when it folds every
+    native spelling onto the arena cache key.
+    """
+
+    @staticmethod
+    def _enumerate(solver, num_vars):
+        models = []
+        while True:
+            result = solver.solve()
+            if not result.is_sat:
+                return models
+            model = tuple(result.value(v) for v in range(1, num_vars + 1))
+            models.append(model)
+            solver.add_clause([
+                (-v if model[v - 1] else v) for v in range(1, num_vars + 1)
+            ])
+
+    def test_statuses_models_cores_and_counters_match_arena(self):
+        for tier in _available_native_tiers():
+            cls = tier.solver_class()
+            for case in range(40):
+                rng = random.Random(SEED_BASE + 30_000 + case)
+                num_vars = rng.randint(3, 12)
+                cnf = _random_cnf(rng, num_vars, rng.randint(3, 40))
+                arena = SATSolver.from_cnf(cnf)
+                native = cls.from_cnf(cnf)
+                for _ in range(4):
+                    k = rng.randint(0, min(4, num_vars))
+                    variables = rng.sample(range(1, num_vars + 1), k)
+                    assumptions = [
+                        v if rng.random() < 0.5 else -v for v in variables
+                    ]
+                    res_a = arena.solve(assumptions=assumptions)
+                    res_n = native.solve(assumptions=assumptions)
+                    context = (tier.name, case, assumptions)
+                    assert res_n.status == res_a.status, context
+                    assert res_n.conflicts == res_a.conflicts, context
+                    assert res_n.decisions == res_a.decisions, context
+                    assert res_n.propagations == res_a.propagations, context
+                    if res_a.is_sat:
+                        model_a = tuple(
+                            res_a.value(v) for v in range(1, num_vars + 1))
+                        model_n = tuple(
+                            res_n.value(v) for v in range(1, num_vars + 1))
+                        assert model_n == model_a, context
+                    else:
+                        assert res_n.core == res_a.core, context
+
+    def test_enumeration_model_sequences_match_arena(self):
+        """Same models in the same order, not merely the same set."""
+        for tier in _available_native_tiers():
+            cls = tier.solver_class()
+            for case in range(15):
+                rng = random.Random(SEED_BASE + 40_000 + case)
+                num_vars = rng.randint(2, 7)
+                cnf = _random_cnf(rng, num_vars, rng.randint(1, 3 * num_vars))
+                seq_a = self._enumerate(SATSolver.from_cnf(cnf), num_vars)
+                seq_n = self._enumerate(cls.from_cnf(cnf), num_vars)
+                assert seq_n == seq_a, (tier.name, case)
+
+    def test_time_phase_schedule_counts_match_arena(self):
+        from repro.graphs.analysis import rec_ii, res_ii
+
+        backends = ["arena"] + [t.name for t in _available_native_tiers()]
+        for name in ("bitcount", "gsm"):
+            dfg = load_benchmark(name)
+            cgra = CGRA(4, 4)
+            solvers = {
+                backend: IncrementalTimeSolver(
+                    dfg, cgra, MapperConfig(solver_backend=backend))
+                for backend in backends
+            }
+            mii = max(res_ii(dfg, cgra.num_pes), rec_ii(dfg))
+            for ii in range(max(1, mii - 1), mii + 2):
+                counts = {
+                    backend: sum(
+                        1 for _ in solver.iter_schedules(
+                            ii, limit=6, timeout_seconds=60)
+                    )
+                    for backend, solver in solvers.items()
+                }
+                assert len(set(counts.values())) == 1, (name, ii, counts)
+
+    def test_native_spellings_resolve_and_record_their_tier(self):
+        from repro.smt.native import (
+            native_solver_class,
+            resolved_tier,
+            selected_tier,
+            tier_names,
+            tier_solver_class,
+        )
+
+        assert resolve_solver_backend("native") is native_solver_class()
+        assert tier_solver_class("arena") is SATSolver
+        assert selected_tier() in tier_names()
+        for tier in _available_native_tiers():
+            assert resolve_solver_backend(tier.name) is tier.solver_class()
+            assert resolved_tier(tier.name) == tier.name
+        assert resolved_tier("native") == selected_tier()
+        assert resolved_tier("arena") is None
+        assert resolved_tier("reference") is None
+
+        dfg = load_benchmark("bitcount")
+        arena = MonomorphismMapper(
+            CGRA(4, 4), MapperConfig(solver_backend="arena")).map(dfg)
+        native = MonomorphismMapper(
+            CGRA(4, 4), MapperConfig(solver_backend="native")).map(dfg)
+        assert native.status == arena.status
+        assert native.ii == arena.ii
+        assert native.stats["backend"] == "native"
+        assert native.stats["solver_tier"] == selected_tier()
+        assert "solver_tier" not in arena.stats
+
+
+class TestChronologicalBacktracking:
+    def test_chrono_agrees_with_full_backjumping(self):
+        """Forcing chrono on hard instances changes nothing observable.
+
+        ``chrono_threshold = 1`` takes the chronological path on *every*
+        non-trivial backjump; the solver must still agree with the plain
+        first-UIP solver on status, return satisfying models, and keep
+        assumption cores sound.
+        """
+        triggered = 0
+        for case in range(25):
+            rng = random.Random(SEED_BASE + 50_000 + case)
+            num_vars = rng.randint(12, 24)
+            cnf = _random_3sat(rng, num_vars)
+            chrono = SATSolver.from_cnf(cnf)
+            chrono.chrono_threshold = 1
+            plain = SATSolver.from_cnf(cnf)
+            plain.chrono_threshold = 0
+            res_c = chrono.solve()
+            res_p = plain.solve()
+            assert res_c.status == res_p.status, case
+            if res_c.is_sat:
+                assert _model_satisfies(res_c, cnf), case
+            triggered += chrono.chrono_backtracks
+            # the solver stays reusable: an assumption solve afterwards
+            # still agrees and still produces sound cores
+            k = rng.randint(1, min(4, num_vars))
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, num_vars + 1), k)
+            ]
+            res_ca = chrono.solve(assumptions=assumptions)
+            res_pa = plain.solve(assumptions=assumptions)
+            assert res_ca.status == res_pa.status, case
+            if res_ca.is_unsat and res_ca.core is not None:
+                oracle = ReferenceSATSolver.from_cnf(cnf)
+                for literal in res_ca.core:
+                    oracle.add_clause([literal])
+                assert oracle.solve().is_unsat, (case, res_ca.core)
+        assert triggered > 0, "chrono_threshold=1 never took the chrono path"
+
+    def test_chrono_preserves_trail_depth(self):
+        """A chronological backtrack keeps the deep trail intact.
+
+        With the threshold at 1 the solver undoes only the conflicting
+        level instead of rewinding to the assertion level, so across a
+        hard solve the trail (and its decision levels) must stay
+        internally consistent: every trail literal is assigned true at
+        the level recorded for it, in order.
+        """
+        rng = random.Random(SEED_BASE + 55_000)
+        for _ in range(5):
+            cnf = _random_3sat(rng, 20)
+            solver = SATSolver.from_cnf(cnf)
+            solver.chrono_threshold = 1
+            result = solver.solve()
+            if result.is_sat:
+                # at SAT every variable is on the trail exactly once
+                assert len(solver.trail) == len(set(
+                    abs(lit) for lit in solver.trail))
+            for lit in solver.trail:
+                assert solver.vals[lit] > 0
+
+
+class TestVivification:
+    def test_vivification_strengthens_an_implied_learnt_clause(self):
+        """Deterministic strengthening: (1 v 2) vivifies learnt (1 v 2 v 3).
+
+        Assuming ``-1`` propagates ``2`` through the problem clause, so
+        the learnt clause truncates to ``(1 v 2)``; the original must be
+        tombstoned and the replacement must still be implied by the
+        problem clauses (its full negation is UNSAT on a fresh oracle).
+        """
+        cnf = CNF()
+        for _ in range(3):
+            cnf.new_var()
+        cnf.add_clause([1, 2])
+        solver = SATSolver.from_cnf(cnf)
+        ci = solver._attach([1, 2, 3], learnt=True, lbd=3)
+        solver.vivify_interval = 1
+        solver._conflicts_since_vivify = 5
+        result = solver.solve()
+        assert result.is_sat
+        assert solver.vivifications == 1
+        assert solver.vivified_literals == 1
+        assert solver.c_dead[ci] == 1
+        last = len(solver.c_off) - 1
+        assert solver._clause_literals(last) == [1, 2]
+        assert solver.c_learnt[last] == 1
+        assert not solver.c_dead[last]
+        oracle = ReferenceSATSolver.from_cnf(cnf)
+        oracle.add_clause([-1])
+        oracle.add_clause([-2])
+        assert oracle.solve().is_unsat
+
+    def test_eager_vivification_preserves_results_and_implication(self):
+        """vivify_interval=1 under model enumeration: statuses unchanged
+        and every surviving learnt clause is still implied.
+
+        Enumeration re-enters :meth:`SATSolver.solve` with conflicts
+        accumulated from the previous rounds, which is exactly when the
+        eager vivifier fires; the blocking clauses join the problem side,
+        so learnt clauses must stay consequences of problem + blocks.
+        """
+        vivified = 0
+        for case in range(12):
+            rng = random.Random(SEED_BASE + 60_000 + case)
+            num_vars = rng.randint(12, 18)
+            cnf = _random_3sat(rng, num_vars, ratio=4.0)
+            eager = SATSolver.from_cnf(cnf)
+            eager.vivify_interval = 1
+            eager.vivify_limit = 16
+            res_e = eager.solve()
+            res_p = ReferenceSATSolver.from_cnf(cnf).solve()
+            assert res_e.status == res_p.status, case
+            blocks = []
+            while res_e.is_sat and len(blocks) < 8:
+                assert _model_satisfies(res_e, cnf), case
+                model = tuple(
+                    res_e.value(v) for v in range(1, num_vars + 1))
+                block = [
+                    (-v if model[v - 1] else v)
+                    for v in range(1, num_vars + 1)
+                ]
+                blocks.append(block)
+                eager.add_clause(list(block))
+                res_e = eager.solve()
+            vivified += eager.vivified_literals
+            # every live learnt clause (vivified or not) must remain a
+            # consequence of the problem + blocking clauses:
+            # re-asserting its negation on a fresh oracle is UNSAT
+            learnt = [
+                eager._clause_literals(idx)
+                for idx in range(len(eager.c_off))
+                if eager.c_learnt[idx] and not eager.c_dead[idx]
+            ]
+            for clause in learnt[:8]:
+                oracle = ReferenceSATSolver.from_cnf(cnf)
+                for block in blocks:
+                    oracle.add_clause(list(block))
+                for literal in clause:
+                    oracle.add_clause([-literal])
+                assert oracle.solve().is_unsat, (case, clause)
+        assert vivified > 0, "the sweep never strengthened a clause"
