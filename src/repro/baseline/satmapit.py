@@ -54,6 +54,8 @@ from repro.graphs.analysis import (
     res_ii,
 )
 from repro.graphs.dfg import DFG
+from repro.obs import hooks as obs_hooks
+from repro.obs import trace as obs_trace
 from repro.perf import PerfCounters, timed
 from repro.smt.cnf import negate
 from repro.smt.csp import FiniteDomainProblem, IntVar
@@ -268,11 +270,22 @@ class SatMapItMapper:
 
     def map(self, dfg: DFG) -> MappingResult:
         """Map ``dfg`` with the coupled encoding; honours the timeout."""
+        started = time.monotonic()
+        self._perf = None
+        with obs_hooks.engine_span("satmapit"):
+            result = self._map_impl(dfg)
+            obs_hooks.finish_engine_run(
+                "satmapit", result, started, perf=self._perf
+            )
+        return result
+
+    def _map_impl(self, dfg: DFG) -> MappingResult:
         dfg.validate()
         start = time.monotonic()
         budget = self.config.timeout_seconds
         deadline = start + budget if budget is not None else None
         perf = PerfCounters(detailed=self.config.profile)
+        self._perf = perf
         perf.extra["engine"] = "satmapit"
         perf.extra["backend"] = self.config.solver_backend
         tier = native_resolved_tier(self.config.solver_backend)
@@ -327,6 +340,8 @@ class SatMapItMapper:
             attempted_slacks = set()
             ii_started = time.monotonic()
             schedules_before = result.schedules_tried
+            ii_span = obs_trace.span("ii_attempt", ii=ii)
+            ii_span.__enter__()
             for slack in self.config.slack_candidates():
                 eff_slack = encoding.effective_slack(slack)
                 if eff_slack in attempted_slacks:
@@ -363,6 +378,10 @@ class SatMapItMapper:
                 result.ii = ii
                 mapped = True
                 break
+            ii_span.__exit__(None, None, None)
+            obs_hooks.record_ii_attempt(
+                "satmapit", time.monotonic() - ii_started
+            )
             per_ii.append({
                 "ii": ii,
                 "time": round(time.monotonic() - ii_started, 6),

@@ -14,6 +14,8 @@ Subcommands::
     repro-map map --benchmark gsm --approach heuristic --strategy refine
     repro-map map --benchmark crc32 --remote http://127.0.0.1:8780
                                            # compile on a repro-serve daemon
+    repro-map map --benchmark aes --trace trace.json --metrics
+                                           # Chrome trace + metrics summary
     repro-map arch list                    # architecture presets
     repro-map arch show mul_sparse_checkerboard --size 4x4
     repro-map arch dump memory_column_mesh --size 4x4 --out fabric.json
@@ -63,6 +65,8 @@ from repro.experiments.runner import (
     parse_size,
 )
 from repro.frontend import EXAMPLE_KERNELS, extract_dfg
+from repro.obs import logjson, metrics
+from repro.obs import trace as obs_trace
 from repro.opt.pipeline import MAX_OPT_LEVEL, pass_names
 from repro.reporting.tables import Table, format_seconds
 from repro.sim.executor import run_and_compare
@@ -175,11 +179,19 @@ def _cmd_map_remote(args: argparse.Namespace) -> int:
         print(f"submitted {job_id} to {args.remote} "
               f"(cache: {job.get('cache', 'miss')})")
         if job["status"] not in ("done", "failed", "cancelled"):
-            # follow the anytime stream; improvements print as they land
+            # follow the anytime stream; improvements print as they land,
+            # stamped with the server's monotonic-anchored event `ts`
+            first_ts = None
             for event in client.events(job_id):
+                ts = event.get("ts")
+                if first_ts is None and ts is not None:
+                    first_ts = ts
+                offset = (f" [+{ts - first_ts:.3f}s]"
+                          if ts is not None and first_ts is not None else "")
                 if event["event"] == "improvement":
                     print(f"  improvement: II={event['ii']} "
-                          f"(mII {event['mii']}) at {event['elapsed']:.3f}s")
+                          f"(mII {event['mii']}) at {event['elapsed']:.3f}s"
+                          + offset)
         job = client.job(job_id)
     except (ServiceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -208,8 +220,29 @@ def _cmd_map_remote(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    if args.remote:
-        return _cmd_map_remote(args)
+    """Dispatch ``map``, wrapped in the opt-in observability surface."""
+    if args.log_json:
+        logjson.configure(args.log_json)
+    if args.trace:
+        obs_trace.enable()
+    try:
+        status = (_cmd_map_remote(args) if args.remote
+                  else _cmd_map_local(args))
+    finally:
+        # emit the trace/metrics views even when the mapping failed --
+        # failures are exactly when the observability output matters
+        if args.trace:
+            spans = obs_trace.write_chrome_trace(args.trace)
+            print(f"\ntrace written to {args.trace} ({spans} span(s); "
+                  f"open in Perfetto / chrome://tracing)")
+        if args.metrics:
+            from repro.perf.profile import render_metrics_table
+            print()
+            print(render_metrics_table(metrics.snapshot()).render())
+    return status
+
+
+def _cmd_map_local(args: argparse.Namespace) -> int:
     dfg, program = _load_dfg(args)
     cgra = build_cgra_from_arch(args.cgra, args.arch)
     fabric = "" if cgra.is_homogeneous else ", heterogeneous"
@@ -301,7 +334,7 @@ def _cmd_arch(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Profile benchmarks and emit the per-phase timing/counter JSON."""
-    from repro.perf.profile import profile_benchmarks
+    from repro.perf.profile import profile_benchmarks, render_profile_table
 
     for name in args.benchmarks:
         if name not in ("running_example", "example"):
@@ -317,34 +350,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         solver_backend=args.solver_backend,
         seed=args.seed,
     )
-    kernel = args.solver_backend
-    tiers = {record["stats"].get("solver_tier") for record in records}
-    tiers.discard(None)
-    if tiers:
-        # the native backend resolves to a concrete tier at solve time
-        kernel += " -> " + "/".join(sorted(tiers))
-    table = Table(
-        headers=["Benchmark", "Status", "II", "Encode", "Solve", "Propagate",
-                 "Analyze", "Space", "Conflicts", "Props", "Learnts"],
-        title=f"Profile -- {args.approach} on {args.cgra}"
-              f" ({kernel} kernel)",
-    )
-    for record in records:
-        seconds = record["stats"]["seconds"]
-        solver = record["stats"]["solver"]
-        table.add_row(
-            record["benchmark"],
-            record["status"],
-            record["ii"],
-            format_seconds(seconds["encode"]),
-            format_seconds(seconds["solve"]),
-            format_seconds(seconds.get("propagate")),
-            format_seconds(seconds.get("analyze")),
-            format_seconds(seconds["space"]),
-            solver["conflicts"],
-            solver["propagations"],
-            solver["learnts"],
-        )
+    table = render_profile_table(records, approach=args.approach,
+                                 size=args.cgra,
+                                 solver_backend=args.solver_backend)
     print(table.render())
     text = json.dumps(records, indent=2)
     if args.json:
@@ -506,6 +514,17 @@ def build_parser() -> argparse.ArgumentParser:
     map_parser.add_argument("--iterations", type=int, default=8,
                             help="loop iterations to simulate")
     map_parser.add_argument("--json", help="write the mapping to a JSON file")
+    map_parser.add_argument("--trace", default=None, metavar="OUT",
+                            help="record engine/phase spans and write a "
+                                 "Chrome trace-event JSON to OUT (open in "
+                                 "Perfetto; see docs/observability.md)")
+    map_parser.add_argument("--metrics", action="store_true",
+                            help="print the in-process metrics registry "
+                                 "(the same series GET /metrics exposes) "
+                                 "after mapping")
+    map_parser.add_argument("--log-json", default=None, metavar="PATH",
+                            help="append structured JSONL run records to "
+                                 "PATH (equivalent: REPRO_LOG_JSON env var)")
     map_parser.set_defaults(handler=_cmd_map)
 
     arch_parser = subparsers.add_parser(

@@ -47,6 +47,8 @@ from repro.core.time_solver import IncrementalTimeSolver, Schedule, TimeSolver
 from repro.core.validation import assert_valid_mapping
 from repro.graphs.analysis import critical_path_length, rec_ii, res_ii
 from repro.graphs.dfg import DFG
+from repro.obs import hooks as obs_hooks
+from repro.obs import trace as obs_trace
 from repro.perf import PerfCounters
 from repro.smt.native import resolved_tier as native_resolved_tier
 
@@ -240,6 +242,15 @@ class MonomorphismMapper:
 
     def map(self, dfg: DFG) -> MappingResult:
         """Map ``dfg`` onto the CGRA; never raises for ordinary failures."""
+        started = time.monotonic()
+        with obs_hooks.engine_span("monomorphism"):
+            result = self._map_impl(dfg)
+            obs_hooks.finish_engine_run(
+                "monomorphism", result, started, perf=self._perf
+            )
+        return result
+
+    def _map_impl(self, dfg: DFG) -> MappingResult:
         dfg.validate()
         start = time.monotonic()
         perf = PerfCounters(detailed=self.config.profile)
@@ -296,8 +307,13 @@ class MonomorphismMapper:
             time_before = result.time_phase_seconds
             space_before = result.space_phase_seconds
             schedules_before = result.schedules_tried
-            outcome, mapping, message = self._attempt_ii(
-                dfg, ii, result, start, incremental
+            attempt_started = time.monotonic()
+            with obs_trace.span("ii_attempt", ii=ii):
+                outcome, mapping, message = self._attempt_ii(
+                    dfg, ii, result, start, incremental
+                )
+            obs_hooks.record_ii_attempt(
+                "monomorphism", time.monotonic() - attempt_started
             )
             per_ii.append({
                 "ii": ii,
@@ -375,20 +391,23 @@ class MonomorphismMapper:
                 )
             time_phase_start = time.monotonic()
             try:
-                budget = self._phase_budget(
-                    start, self.config.time_timeout_seconds
-                )
-                if incremental is not None:
-                    schedule_iter = incremental.iter_schedules(
-                        ii, slack=slack, timeout_seconds=budget
+                with obs_trace.span("time_phase", ii=ii, slack=slack):
+                    budget = self._phase_budget(
+                        start, self.config.time_timeout_seconds
                     )
-                else:
-                    solver = TimeSolver(
-                        dfg, self.cgra, ii, self.config, slack=slack,
-                        perf=self._perf,
-                    )
-                    schedule_iter = solver.iter_schedules(timeout_seconds=budget)
-                schedule = self._next_schedule(schedule_iter)
+                    if incremental is not None:
+                        schedule_iter = incremental.iter_schedules(
+                            ii, slack=slack, timeout_seconds=budget
+                        )
+                    else:
+                        solver = TimeSolver(
+                            dfg, self.cgra, ii, self.config, slack=slack,
+                            perf=self._perf,
+                        )
+                        schedule_iter = solver.iter_schedules(
+                            timeout_seconds=budget
+                        )
+                    schedule = self._next_schedule(schedule_iter)
             except PhaseTimeoutError as exc:
                 result.time_phase_seconds += time.monotonic() - time_phase_start
                 return _Outcome.TIME_TIMEOUT, None, str(exc)
@@ -400,12 +419,13 @@ class MonomorphismMapper:
 
             while schedule is not None:
                 result.schedules_tried += 1
-                space_result = self.space_solver.solve(
-                    schedule,
-                    timeout_seconds=self._phase_budget(
-                        start, self.config.space_timeout_seconds
-                    ),
-                )
+                with obs_trace.span("space_phase", ii=ii):
+                    space_result = self.space_solver.solve(
+                        schedule,
+                        timeout_seconds=self._phase_budget(
+                            start, self.config.space_timeout_seconds
+                        ),
+                    )
                 result.space_phase_seconds += space_result.elapsed_seconds
                 perf = self._perf
                 perf.space_calls += 1
@@ -433,7 +453,8 @@ class MonomorphismMapper:
                     )
                 time_phase_start = time.monotonic()
                 try:
-                    schedule = self._next_schedule(schedule_iter)
+                    with obs_trace.span("time_phase", ii=ii):
+                        schedule = self._next_schedule(schedule_iter)
                 except PhaseTimeoutError as exc:
                     result.time_phase_seconds += time.monotonic() - time_phase_start
                     return _Outcome.TIME_TIMEOUT, None, str(exc)

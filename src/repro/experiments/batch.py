@@ -43,6 +43,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.workers import reap
 from repro.experiments.runner import CaseResult, normalize_approach, run_case
+from repro.obs import logjson, metrics
+from repro.obs import trace as obs_trace
 from repro.service.store import ResultStore, content_key, file_content_hash
 
 #: extra wall-clock grace on top of a case's soft timeout before the worker
@@ -188,9 +190,21 @@ class BatchReport:
         )
 
 
-def _worker_main(case_payload: Dict[str, object], connection) -> None:
-    """Child-process entry point: run one case, ship the result back."""
+def _worker_main(case_payload: Dict[str, object], connection,
+                 traced: bool = False) -> None:
+    """Child-process entry point: run one case, ship the result back.
+
+    With ``traced`` set (tracing was enabled in the parent), the child
+    records its own span buffer and ships a snapshot back as a third
+    tuple element; the parent merges it under the span that spawned the
+    case, re-anchored via the snapshot's wall-clock epoch.
+    """
     try:
+        if traced:
+            # shed the fork-inherited buffer and open-span stack so this
+            # child's roots re-parent cleanly when the parent ingests
+            obs_trace.reset()
+            obs_trace.enable()
         case = BatchCase(**case_payload)
         result = run_case(
             case.benchmark, case.size, case.approach, case.timeout_seconds,
@@ -198,7 +212,12 @@ def _worker_main(case_payload: Dict[str, object], connection) -> None:
             opt_passes=case.opt_passes,
             solver_backend=case.solver_backend, seed=case.seed,
         )
-        connection.send(("ok", dataclasses.asdict(result)))
+        if traced:
+            connection.send(
+                ("ok", dataclasses.asdict(result), obs_trace.snapshot())
+            )
+        else:
+            connection.send(("ok", dataclasses.asdict(result)))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
         try:
             connection.send(("error", repr(exc)))
@@ -298,7 +317,8 @@ class BatchRunner:
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_worker_main,
-            args=(dataclasses.asdict(case), child_conn),
+            args=(dataclasses.asdict(case), child_conn,
+                  obs_trace.enabled()),
             daemon=True,
         )
         process.start()
@@ -317,10 +337,18 @@ class BatchRunner:
         case = running.case
         if running.connection.poll(0):
             try:
-                kind, payload = running.connection.recv()
+                message = running.connection.recv()
+                kind, payload = message[0], message[1]
+                child_trace = message[2] if len(message) > 2 else None
             except (EOFError, OSError):
                 kind, payload = ("error", "worker pipe closed unexpectedly")
+                child_trace = None
             if kind == "ok":
+                obs_trace.ingest(
+                    child_trace,
+                    parent_span_id=obs_trace.current_span_id(),
+                    trace=obs_trace.current_trace() or None,
+                )
                 return CaseResult(**payload)
             return self._synthetic_result(case, ERROR_STATUS, elapsed,
                                           message=str(payload))
@@ -381,6 +409,7 @@ class BatchRunner:
             if hit is not None:
                 report.results[index] = hit
                 report.cache_hits += 1
+                metrics.inc("repro_batch_cases_total", outcome="cache_hit")
                 self._report(f"[cache] {case.label()}: {hit.status}")
             else:
                 pending.append((index, case, key))
@@ -400,6 +429,16 @@ class BatchRunner:
                     finished.append(index)
                     report.results[index] = result
                     report.executed += 1
+                    metrics.inc("repro_batch_cases_total",
+                                outcome=result.status)
+                    logjson.log(
+                        "batch_case",
+                        case=entry.case.label(),
+                        key=entry.key,
+                        status=result.status,
+                        ii=result.ii,
+                        total_seconds=result.total_seconds,
+                    )
                     if result.status == HARD_TIMEOUT_STATUS:
                         report.hard_timeouts += 1
                     elif result.status == ERROR_STATUS:

@@ -67,6 +67,8 @@ from repro.graphs.analysis import (
 from repro.graphs.dfg import DFG
 from repro.heuristic.anneal import anneal_placement, hop_distances
 from repro.heuristic.scheduler import capacity_groups, list_schedule
+from repro.obs import hooks as obs_hooks
+from repro.obs import trace as obs_trace
 from repro.perf import PerfCounters
 
 #: fallback seed when neither ``--seed`` nor ``REPRO_PROPERTY_SEED`` is set
@@ -120,6 +122,16 @@ class HeuristicMapper:
 
     def map(self, dfg: DFG) -> MappingResult:
         """Map ``dfg``; never raises for ordinary failures."""
+        started = time.monotonic()
+        self._perf = None
+        with obs_hooks.engine_span("heuristic"):
+            result = self._map_impl(dfg)
+            obs_hooks.finish_engine_run(
+                "heuristic", result, started, perf=self._perf
+            )
+        return result
+
+    def _map_impl(self, dfg: DFG) -> MappingResult:
         dfg.validate()
         start = time.monotonic()
         deadline = start + self.config.budget_seconds
@@ -127,6 +139,7 @@ class HeuristicMapper:
         perf = PerfCounters(detailed=self.config.profile)
         perf.extra["engine"] = "heuristic"
         perf.extra["seed"] = seed
+        self._perf = perf
 
         dfg, opt_result = run_pre_mapping_opt(dfg, self.cgra, self.config)
         resource_ii, recurrence_ii, mii, infeasible = begin_mapping(
@@ -254,10 +267,16 @@ class HeuristicMapper:
         else:
             ii_values = range(mii, max_ii + 1)
         for ii in ii_values:
-            mapping, budget_exhausted = attempt_ii(ii)
+            attempt_started = time.monotonic()
+            with obs_trace.span("ii_attempt", ii=ii):
+                mapping, budget_exhausted = attempt_ii(ii)
+            obs_hooks.record_ii_attempt(
+                "heuristic", time.monotonic() - attempt_started
+            )
             if mapping is not None:
                 best_mapping = mapping
                 best_ii = ii
+                obs_trace.instant("improvement", ii=ii)
                 self._emit({"event": "improvement", "ii": ii, "mii": mii,
                             "elapsed": time.monotonic() - start})
                 if not descending or ii == mii:

@@ -33,6 +33,8 @@ from repro.core.engine import create_engine
 from repro.core.mapper import MappingResult, MappingStatus
 from repro.core.workers import reap
 from repro.graphs.dfg import DFG
+from repro.obs import hooks as obs_hooks
+from repro.obs import trace as obs_trace
 
 #: wall-clock grace on top of a parallel worker's soft budget before it is
 #: terminated (mirrors the batch engine's kill grace)
@@ -82,11 +84,27 @@ def _engine_kwargs(config: PortfolioConfig, budget: float) -> Dict[str, object]:
 
 
 def _portfolio_worker(name: str, dfg: DFG, cgra: CGRA,
-                      kwargs: Dict[str, object], connection) -> None:
-    """Child-process entry point of the parallel race."""
+                      kwargs: Dict[str, object], connection,
+                      traced: bool = False) -> None:
+    """Child-process entry point of the parallel race.
+
+    With ``traced`` set (the parent had tracing on), the child records
+    its own span buffer and ships a snapshot back alongside the result;
+    the parent merges it under its portfolio span, aligning the child's
+    monotonic timeline via the snapshot's wall-clock epoch anchor.
+    """
     try:
+        if traced:
+            # shed the fork-inherited buffer and open-span stack so this
+            # child's roots re-parent under the portfolio span on ingest
+            obs_trace.reset()
+            obs_trace.enable()
         engine = create_engine(name, cgra, **kwargs)
-        connection.send(("ok", engine.map(dfg)))
+        result = engine.map(dfg)
+        if traced:
+            connection.send(("ok", result, obs_trace.snapshot()))
+        else:
+            connection.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
         try:
             connection.send(("error", repr(exc)))
@@ -109,22 +127,26 @@ class PortfolioMapper:
         """Race the portfolio; never raises for ordinary failures."""
         dfg.validate()
         start = time.monotonic()
-        if self.config.parallel:
-            best, outcomes, winner = self._race_parallel(dfg)
-        else:
-            best, outcomes, winner = self._race_sequential(dfg, start)
+        with obs_hooks.engine_span(
+            "portfolio", parallel=self.config.parallel
+        ):
+            if self.config.parallel:
+                best, outcomes, winner = self._race_parallel(dfg)
+            else:
+                best, outcomes, winner = self._race_sequential(dfg, start)
 
-        if best is None:
-            best = MappingResult(
-                status=MappingStatus.NO_SOLUTION,
-                message="every portfolio engine failed",
-            )
-        stats = dict(best.stats) if best.stats else {}
-        stats["engine"] = "portfolio"
-        stats["winner"] = winner
-        stats["portfolio"] = outcomes
-        best.stats = stats
-        best.total_seconds = time.monotonic() - start
+            if best is None:
+                best = MappingResult(
+                    status=MappingStatus.NO_SOLUTION,
+                    message="every portfolio engine failed",
+                )
+            stats = dict(best.stats) if best.stats else {}
+            stats["engine"] = "portfolio"
+            stats["winner"] = winner
+            stats["portfolio"] = outcomes
+            best.stats = stats
+            best.total_seconds = time.monotonic() - start
+            obs_hooks.finish_engine_run("portfolio", best, start)
         return best
 
     # ------------------------------------------------------------------ #
@@ -157,12 +179,14 @@ class PortfolioMapper:
         budget = self.config.per_engine_budget()
         kwargs = _engine_kwargs(self.config, budget)
         context = multiprocessing.get_context()
+        traced = obs_trace.enabled()
+        race_span_id = obs_trace.current_span_id()
         running = {}
         for name in self.config.engines:
             parent_conn, child_conn = context.Pipe(duplex=False)
             process = context.Process(
                 target=_portfolio_worker,
-                args=(name, dfg, self.cgra, kwargs, child_conn),
+                args=(name, dfg, self.cgra, kwargs, child_conn, traced),
                 daemon=True,
             )
             process.start()
@@ -179,11 +203,21 @@ class PortfolioMapper:
                 for name, (process, connection) in running.items():
                     if connection.poll(0):
                         try:
-                            kind, payload = connection.recv()
+                            message = connection.recv()
+                            kind, payload = message[0], message[1]
+                            child_trace = (
+                                message[2] if len(message) > 2 else None
+                            )
                         except (EOFError, OSError):
                             kind, payload = "error", "worker pipe closed"
+                            child_trace = None
                         if kind == "ok":
                             results[name] = payload
+                            obs_trace.ingest(
+                                child_trace,
+                                parent_span_id=race_span_id,
+                                trace=obs_trace.current_trace() or None,
+                            )
                         else:
                             errors[name] = ("error", str(payload))
                         finished.append(name)

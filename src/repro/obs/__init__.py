@@ -1,0 +1,21 @@
+"""``repro.obs`` -- tracing, metrics, and structured logging.
+
+Three stdlib-only pillars, each independently opt-in:
+
+* :mod:`repro.obs.trace` -- context-manager spans over monotonic clocks,
+  merged across process boundaries, exported as Chrome trace-event JSON
+  (``repro-map map --trace out.json``, viewable in Perfetto).
+* :mod:`repro.obs.metrics` -- a process-global counter/gauge/histogram
+  registry rendered as Prometheus text (``GET /metrics`` on the daemon,
+  ``repro-map map --metrics`` locally).
+* :mod:`repro.obs.logjson` -- an opt-in JSONL run log
+  (``REPRO_LOG_JSON=path`` / ``--log-json path``), one record per
+  request/job/engine attempt.
+
+See docs/observability.md for the span taxonomy, metric inventory, and
+log-record schema.
+"""
+
+from repro.obs import logjson, metrics, trace
+
+__all__ = ["trace", "metrics", "logjson"]

@@ -1,0 +1,86 @@
+"""Opt-in structured JSONL run log.
+
+One JSON object per line, one record per interesting event (HTTP request,
+job transition, engine attempt, store warning), each carrying a
+``record`` type tag, a wall-clock ``ts``, and whatever fields the caller
+attaches (trace id, job id, approach, tier, outcome, ...).
+
+Disabled by default: :func:`log` is a no-op until :func:`configure` sets
+a path, either programmatically (``repro-map map --log-json run.jsonl``)
+or via the ``REPRO_LOG_JSON`` environment variable (picked up once, at
+first use).  Each record is written and flushed atomically under a lock
+so daemon worker threads interleave whole lines, never fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["configure", "configured", "log", "close"]
+
+ENV_VAR = "REPRO_LOG_JSON"
+
+_lock = threading.Lock()
+_handle: Optional[IO[str]] = None
+_path: Optional[str] = None
+_env_checked = False
+
+
+def configure(path: Optional[str]) -> None:
+    """Open (append) the run log at ``path``; ``None`` turns logging off."""
+    global _handle, _path, _env_checked
+    with _lock:
+        if _handle is not None:
+            try:
+                _handle.close()
+            except OSError:
+                pass
+        _handle = None
+        _path = None
+        _env_checked = True  # explicit configure wins over the env var
+        if path:
+            _handle = open(path, "a", encoding="utf-8")
+            _path = path
+
+
+def configured() -> Optional[str]:
+    """The active log path, or ``None``."""
+    _maybe_env()
+    return _path
+
+
+def _maybe_env() -> None:
+    global _env_checked
+    if _env_checked:
+        return
+    with _lock:
+        if _env_checked:
+            return
+        _env_checked = True
+    path = os.environ.get(ENV_VAR)
+    if path:
+        configure(path)
+
+
+def log(record: str, **fields: Any) -> None:
+    """Append one structured record; no-op when unconfigured."""
+    _maybe_env()
+    if _handle is None:
+        return
+    payload = {"record": record, "ts": round(time.time(), 6)}
+    payload.update(fields)
+    line = json.dumps(payload, sort_keys=True, default=str)
+    with _lock:
+        if _handle is None:
+            return
+        _handle.write(line + "\n")
+        _handle.flush()
+
+
+def close() -> None:
+    """Close the log (tests; daemons on shutdown)."""
+    configure(None)

@@ -1,0 +1,418 @@
+"""In-process tracing: spans, trace buffers, Chrome trace-event export.
+
+The tracer is a process-global, thread-aware span recorder designed to be
+**zero-cost when disabled**: :func:`span` returns a shared null context
+manager without allocating anything (no dict, no object) unless tracing
+was explicitly enabled via :func:`enable` (typically from ``repro-map map
+--trace out.json`` or ``repro-serve start --trace-dir DIR``).
+
+Design points:
+
+* **Monotonic clocks.** Span timestamps come from ``time.monotonic()``;
+  each buffer also records a wall-clock *epoch anchor*
+  (``time.time() - time.monotonic()``) so buffers captured in different
+  processes -- whose monotonic bases are unrelated -- can be merged onto
+  one timeline: on :func:`ingest`, child event timestamps are shifted by
+  the difference between the child's and the parent's anchors.
+* **Thread-local span stacks.** Nesting (parent ids) is tracked per
+  thread, so the service daemon's worker threads each build their own
+  subtree. A per-thread *trace label* (:func:`push_trace`) tags every
+  span opened by that thread, letting the daemon export one job's spans
+  without capturing a neighbour's.
+* **Chrome trace-event JSON.** :func:`chrome_trace` renders the buffer as
+  ``{"traceEvents": [...]}`` with ``ph:"X"`` complete events (ts/dur in
+  microseconds) plus ``ph:"M"`` process/thread metadata -- loadable
+  directly in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+Hot paths (the CDCL inner loop) are *never* spanned; solver-phase
+attribution is synthesized after the fact from ``repro.perf`` counters
+via :func:`add_complete`, which appends pre-timed events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "span",
+    "add_complete",
+    "instant",
+    "push_trace",
+    "pop_trace",
+    "current_trace",
+    "current_span_id",
+    "snapshot",
+    "ingest",
+    "events",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+# Module-level gate checked before anything is allocated.  Instrumented
+# code does ``with trace.span("name", ii=4):`` -- when this is False the
+# call returns the shared _NULL_SPAN immediately.
+_ENABLED = False
+
+# Keep the buffer bounded so a pathological run (or a long-lived daemon
+# with per-job export) cannot grow without limit.
+MAX_EVENTS = 200_000
+
+_lock = threading.Lock()
+_events: List[Dict[str, Any]] = []
+_dropped = 0
+_next_span_id = 1
+_epoch = 0.0  # wall-clock anchor: time.time() - time.monotonic()
+
+_tls = threading.local()
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _stack() -> List[int]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def _labels() -> List[str]:
+    labels = getattr(_tls, "labels", None)
+    if labels is None:
+        labels = _tls.labels = []
+    return labels
+
+
+def enabled() -> bool:
+    """Whether tracing is currently recording."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Start recording spans into the process-global buffer."""
+    global _ENABLED, _epoch
+    with _lock:
+        if not _events:
+            _epoch = time.time() - time.monotonic()
+        _ENABLED = True
+
+
+def disable() -> None:
+    """Stop recording; the buffer is kept until :func:`reset`."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset() -> None:
+    """Drop all recorded events and span-id state (tests, per-job reuse).
+
+    Also clears the *calling thread's* span stack and trace labels: a
+    forked pool worker inherits both the parent's buffer and the forking
+    thread's open-span stack, and must shed them so its own root spans
+    re-parent cleanly on :func:`ingest`.
+    """
+    global _events, _dropped, _next_span_id, _epoch
+    with _lock:
+        _events = []
+        _dropped = 0
+        _next_span_id = 1
+        _epoch = time.time() - time.monotonic()
+    _stack().clear()
+    _labels().clear()
+
+
+def _record(event: Dict[str, Any]) -> None:
+    global _dropped
+    with _lock:
+        if len(_events) >= MAX_EVENTS:
+            _dropped += 1
+            return
+        _events.append(event)
+
+
+class _Span:
+    """A live span; records a complete event on ``__exit__``."""
+
+    __slots__ = ("name", "args", "span_id", "parent_id", "trace", "tid", "start")
+
+    def __init__(self, name: str, args: Optional[Dict[str, Any]]) -> None:
+        global _next_span_id
+        self.name = name
+        self.args = args
+        with _lock:
+            self.span_id = _next_span_id
+            _next_span_id += 1
+        stack = _stack()
+        self.parent_id = stack[-1] if stack else 0
+        labels = _labels()
+        self.trace = labels[-1] if labels else ""
+        self.tid = threading.get_ident()
+        self.start = 0.0
+
+    def __enter__(self) -> "_Span":
+        _stack().append(self.span_id)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = time.monotonic()
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "ph": "X",
+            "ts": self.start,
+            "dur": end - self.start,
+            "sid": self.span_id,
+            "parent": self.parent_id,
+            "tid": self.tid,
+        }
+        if self.trace:
+            event["trace"] = self.trace
+        if self.args:
+            event["args"] = self.args
+        _record(event)
+
+
+def span(name: str, **args: Any) -> Any:
+    """Open a span: ``with span("ii_attempt", ii=4): ...``.
+
+    Returns the shared null context manager when tracing is disabled --
+    no allocation happens on the disabled path.
+    """
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _Span(name, args or None)
+
+
+def add_complete(
+    name: str,
+    start: float,
+    duration: float,
+    parent: Optional[int] = None,
+    **args: Any,
+) -> int:
+    """Append a pre-timed complete event (monotonic ``start`` seconds).
+
+    Used to synthesize child spans from externally measured timings --
+    e.g. the profile-gated ``repro.perf`` propagate/analyze/reduce clocks
+    become solver-tier spans under the engine span without ever touching
+    the CDCL hot loop.  ``parent`` overrides the thread's current span as
+    the parent; the new event's span id is returned so callers can build
+    small synthesized subtrees.
+    """
+    if not _ENABLED:
+        return 0
+    global _next_span_id
+    with _lock:
+        span_id = _next_span_id
+        _next_span_id += 1
+    stack = _stack()
+    labels = _labels()
+    event: Dict[str, Any] = {
+        "name": name,
+        "ph": "X",
+        "ts": start,
+        "dur": max(duration, 0.0),
+        "sid": span_id,
+        "parent": parent if parent is not None else (stack[-1] if stack else 0),
+        "tid": threading.get_ident(),
+    }
+    if labels:
+        event["trace"] = labels[-1]
+    if args:
+        event["args"] = args
+    _record(event)
+    return span_id
+
+
+def instant(name: str, **args: Any) -> None:
+    """Record an instant event (e.g. a streamed improvement)."""
+    if not _ENABLED:
+        return
+    stack = _stack()
+    labels = _labels()
+    event: Dict[str, Any] = {
+        "name": name,
+        "ph": "i",
+        "ts": time.monotonic(),
+        "parent": stack[-1] if stack else 0,
+        "tid": threading.get_ident(),
+    }
+    if labels:
+        event["trace"] = labels[-1]
+    if args:
+        event["args"] = args
+    _record(event)
+
+
+def push_trace(label: str) -> None:
+    """Tag subsequent spans on this thread with ``label`` (e.g. a job id)."""
+    _labels().append(label)
+
+
+def pop_trace() -> None:
+    labels = _labels()
+    if labels:
+        labels.pop()
+
+
+def current_trace() -> str:
+    """The active per-thread trace label, or ``""``."""
+    labels = _labels()
+    return labels[-1] if labels else ""
+
+
+def current_span_id() -> int:
+    """The innermost open span id on this thread, or ``0``."""
+    stack = _stack()
+    return stack[-1] if stack else 0
+
+
+def snapshot(trace: Optional[str] = None, clear: bool = False) -> Dict[str, Any]:
+    """Capture the buffer (optionally one trace's slice) for shipping.
+
+    The snapshot carries the wall-clock epoch anchor so :func:`ingest`
+    can align it with the receiving process's timeline.  Workers in the
+    batch/portfolio process pools send snapshots back over their result
+    pipes; ``clear=True`` removes the captured events from the buffer
+    (used when a daemon exports one job's trace).
+    """
+    with _lock:
+        if trace is None:
+            captured = list(_events)
+            if clear:
+                _events.clear()
+        else:
+            captured = [e for e in _events if e.get("trace") == trace]
+            if clear:
+                _events[:] = [e for e in _events if e.get("trace") != trace]
+        return {
+            "epoch": _epoch,
+            "events": captured,
+            "dropped": _dropped,
+            "pid": os.getpid(),
+        }
+
+
+def ingest(snap: Optional[Dict[str, Any]], parent_span_id: int = 0,
+           trace: Optional[str] = None) -> int:
+    """Merge a snapshot from another process into this buffer.
+
+    Child timestamps are monotonic in the *child's* clock; shifting by
+    the difference of wall-clock anchors places them on this process's
+    monotonic timeline.  Root child events (parent 0) are re-parented
+    under ``parent_span_id`` so the merged file nests child-process work
+    under the span that spawned it.  Returns the number of events merged.
+    """
+    if not snap:
+        return 0
+    child_events = snap.get("events") or []
+    if not child_events:
+        return 0
+    shift = float(snap.get("epoch", _epoch)) - _epoch
+    global _next_span_id
+    with _lock:
+        base = _next_span_id
+        # Child span ids collide with ours; rebase them into fresh ids.
+        max_sid = max((int(e.get("sid", 0)) for e in child_events), default=0)
+        _next_span_id += max_sid + 1
+    merged = 0
+    for event in child_events:
+        shifted = dict(event)
+        shifted["ts"] = float(event["ts"]) + shift
+        if event.get("sid"):
+            shifted["sid"] = base + int(event["sid"])
+        parent = int(event.get("parent", 0))
+        shifted["parent"] = base + parent if parent else parent_span_id
+        if trace is not None:
+            shifted["trace"] = trace
+        shifted["proc"] = int(snap.get("pid", 0)) or shifted.get("proc", 1)
+        _record(shifted)
+        merged += 1
+    return merged
+
+
+def events(trace: Optional[str] = None) -> List[Dict[str, Any]]:
+    """A copy of the recorded events (optionally one trace's slice)."""
+    with _lock:
+        if trace is None:
+            return list(_events)
+        return [e for e in _events if e.get("trace") == trace]
+
+
+def _iter_chrome(raw: List[Dict[str, Any]], pid: int) -> Iterator[Dict[str, Any]]:
+    for event in raw:
+        out: Dict[str, Any] = {
+            "name": event["name"],
+            "ph": event.get("ph", "X"),
+            "ts": round(float(event["ts"]) * 1e6, 1),
+            "pid": int(event.get("proc", 0)) or pid,
+            "tid": int(event.get("tid", 0)),
+            "args": dict(event.get("args") or {}),
+        }
+        if out["ph"] == "X":
+            out["dur"] = round(float(event.get("dur", 0.0)) * 1e6, 1)
+        if out["ph"] == "i":
+            out["s"] = "t"  # thread-scoped instant
+        out["args"]["span_id"] = event.get("sid", 0)
+        out["args"]["parent_id"] = event.get("parent", 0)
+        if event.get("trace"):
+            out["args"]["trace"] = event["trace"]
+        yield out
+
+
+def chrome_trace(trace: Optional[str] = None,
+                 snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Render the buffer (or an explicit snapshot) as Chrome trace JSON."""
+    pid = os.getpid()
+    if snap is not None:
+        raw = snap.get("events") or []
+    else:
+        raw = events(trace)
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    trace_events.extend(_iter_chrome(raw, pid))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "span_count": len(raw)},
+    }
+
+
+def write_chrome_trace(path: str, trace: Optional[str] = None,
+                       snap: Optional[Dict[str, Any]] = None) -> int:
+    """Write Chrome trace JSON to ``path``; returns the span count."""
+    doc = chrome_trace(trace=trace, snap=snap)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    return int(doc["otherData"]["span_count"])

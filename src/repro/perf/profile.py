@@ -10,14 +10,20 @@ scripting::
 
     from repro.perf.profile import profile_benchmarks
     report = profile_benchmarks(["aes"], size="4x4")
+
+This module also owns the *rendering* of performance summaries so the
+two CLI surfaces cannot drift: :func:`render_profile_table` backs
+``repro-map profile`` and :func:`render_metrics_table` backs
+``repro-map map --metrics`` (fed by :func:`repro.obs.metrics.snapshot`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.engine import create_engine
 from repro.experiments.runner import build_cgra_from_arch
+from repro.reporting.tables import Table, format_seconds
 from repro.workloads.suite import load_benchmark
 
 
@@ -62,6 +68,70 @@ def profile_case(
         "total_seconds": round(result.total_seconds, 6),
         "stats": result.stats,
     }
+
+
+def render_profile_table(
+    records: Sequence[Dict[str, object]],
+    approach: str,
+    size: str,
+    solver_backend: str = "arena",
+) -> Table:
+    """The ``repro-map profile`` summary table for a list of records."""
+    kernel = solver_backend
+    tiers = {record["stats"].get("solver_tier") for record in records}
+    tiers.discard(None)
+    if tiers:
+        # the native backend resolves to a concrete tier at solve time
+        kernel += " -> " + "/".join(sorted(tiers))
+    table = Table(
+        headers=["Benchmark", "Status", "II", "Encode", "Solve", "Propagate",
+                 "Analyze", "Space", "Conflicts", "Props", "Learnts"],
+        title=f"Profile -- {approach} on {size} ({kernel} kernel)",
+    )
+    for record in records:
+        seconds = record["stats"]["seconds"]
+        solver = record["stats"]["solver"]
+        table.add_row(
+            record["benchmark"],
+            record["status"],
+            record["ii"],
+            format_seconds(seconds["encode"]),
+            format_seconds(seconds["solve"]),
+            format_seconds(seconds.get("propagate")),
+            format_seconds(seconds.get("analyze")),
+            format_seconds(seconds["space"]),
+            solver["conflicts"],
+            solver["propagations"],
+            solver["learnts"],
+        )
+    return table
+
+
+def render_metrics_table(
+    snapshot: Mapping[str, Mapping[str, float]],
+    title: str = "Metrics -- this process",
+) -> Table:
+    """The ``repro-map map --metrics`` summary table.
+
+    ``snapshot`` is :func:`repro.obs.metrics.snapshot` output:
+    ``{metric: {label_string: value}}`` with histograms already folded
+    to ``*_sum`` / ``*_count`` series. Values render through the same
+    cell formatting as the profile table.
+    """
+    table = Table(headers=["Metric", "Labels", "Value"], title=title)
+    for name in sorted(snapshot):
+        series = snapshot[name]
+        for labels in sorted(series):
+            value = series[labels]
+            if name.endswith("_seconds") or name.endswith("_seconds_sum") \
+                    or name.endswith("_seconds_total"):
+                cell: object = format_seconds(value)
+            elif float(value).is_integer():
+                cell = int(value)
+            else:
+                cell = value
+            table.add_row(name, labels or "-", cell)
+    return table
 
 
 def profile_benchmarks(

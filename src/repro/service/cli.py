@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: %(default)s)")
     start.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+    start.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="enable tracing and write one merged Chrome "
+                            "trace-event JSON per executed job into DIR "
+                            "(view in Perfetto; see docs/observability.md)")
+    start.add_argument("--log-json", default=None, metavar="PATH",
+                       help="append structured JSONL run records "
+                            "(requests, jobs, engine runs) to PATH")
 
     status = sub.add_parser(
         "status", help="print a running server's /healthz as JSON")
@@ -69,11 +76,16 @@ def _cmd_start(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.log_json:
+        from repro.obs import logjson
+
+        logjson.configure(args.log_json)
     service = MappingService(
         store_path=args.store,
         workers=args.workers,
         default_budget_seconds=args.default_budget,
         max_budget_seconds=args.max_budget,
+        trace_dir=args.trace_dir,
     )
     server = create_server(service, host=args.host, port=args.port,
                            quiet=args.quiet)

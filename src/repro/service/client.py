@@ -78,6 +78,11 @@ class ServiceClient:
     def store_stats(self) -> Dict[str, object]:
         return self._json("GET", "/v1/store/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics`` -- raw Prometheus text exposition."""
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode("utf-8")
+
     def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
         """POST a mapping request; returns the job view (maybe done)."""
         return self._json("POST", "/v1/jobs", payload)["job"]
@@ -94,6 +99,11 @@ class ServiceClient:
     def events(self, job_id: str, start: int = 0,
                timeout: Optional[float] = None) -> Iterator[Dict[str, object]]:
         """Stream a job's NDJSON events live; ends at the terminal event.
+
+        Every event carries the server's monotonic-anchored ``ts`` stamp
+        (seconds since the Unix epoch, ordered even across clock steps)
+        next to its payload fields; the ``--remote`` live printer shows
+        it as a per-event offset.
 
         ``timeout`` bounds the *socket* idle time between lines, not the
         total stream duration -- a long-running job that keeps improving

@@ -29,6 +29,7 @@ computation produced.
 from __future__ import annotations
 
 import json
+import os
 import queue
 import threading
 import time
@@ -40,6 +41,8 @@ from repro.arch.spec import ArchSpec, preset_names, resolve_arch
 from repro.core.engine import create_engine, normalize_engine
 from repro.experiments.runner import parse_size
 from repro.graphs.dfg import DFG
+from repro.obs import logjson, metrics
+from repro.obs import trace as obs_trace
 from repro.service.store import ResultStore, content_key
 
 #: statuses a job can be in; terminal ones never change again
@@ -401,6 +404,7 @@ class MappingService:
         workers: int = 2,
         default_budget_seconds: float = 30.0,
         max_budget_seconds: float = 300.0,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -409,7 +413,18 @@ class MappingService:
         self._memory_cache: Dict[str, Dict[str, object]] = {}
         self.default_budget_seconds = default_budget_seconds
         self.max_budget_seconds = max_budget_seconds
+        # per-job tracing: enabling the tracer here makes every worker's
+        # spans recordable; each job's slice is exported (and removed from
+        # the buffer) as <trace_dir>/<job_id>.json when the job finishes
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            obs_trace.enable()
         self.started_at = time.time()
+        # event timestamps are anchored once to the wall clock and then
+        # advanced by the monotonic clock, so streamed `ts` fields are
+        # ordered even across NTP steps (see _now)
+        self._mono_start = time.monotonic()
         self.jobs: Dict[str, Job] = {}
         self.counters = {
             "submitted": 0,
@@ -434,16 +449,30 @@ class MappingService:
     # ------------------------------------------------------------------ #
     # Submission / lookup
     # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        """Monotonic-anchored wall-clock time for event ``ts`` stamps.
+
+        The wall clock is read once at service start; afterwards time
+        advances by ``time.monotonic()`` deltas, so streamed event
+        timestamps are strictly ordered even if the system clock steps.
+        """
+        return self.started_at + (time.monotonic() - self._mono_start)
+
     def _store_get(self, key: str) -> Optional[Dict[str, object]]:
+        found = None
         with self._lock:
             if key in self._memory_cache:
-                return self._memory_cache[key]
-            if self.store is not None:
+                found = self._memory_cache[key]
+            elif self.store is not None:
                 record = self.store.get(key)
                 if record is not None:
                     result = record.get("result")
-                    return result if isinstance(result, dict) else None
-        return None
+                    found = result if isinstance(result, dict) else None
+        if found is not None:
+            metrics.inc("repro_store_hits_total")
+        else:
+            metrics.inc("repro_store_misses_total")
+        return found
 
     def _store_put(self, key: str, request: MapRequest,
                    result: Dict[str, object]) -> None:
@@ -458,7 +487,7 @@ class MappingService:
 
     def _append_event(self, job: Job, payload: Dict[str, object]) -> None:
         with job.cond:
-            job.events.append(dict(payload, ts=round(time.time(), 3)))
+            job.events.append(dict(payload, ts=round(self._now(), 3)))
             job.cond.notify_all()
 
     def _finish(self, job: Job, status: str,
@@ -474,12 +503,26 @@ class MappingService:
             job.status = status
             job.result = result
             job.error = error
-            job.finished = time.time()
+            job.finished = self._now()
             job.events.append(dict(final_event, ts=round(job.finished, 3)))
             job.cond.notify_all()
+        metrics.inc("repro_service_jobs_total",
+                    status="hit" if job.cache == "hit" else status)
+        logjson.log(
+            "job",
+            job=job.id,
+            key=job.key,
+            status=status,
+            cache=job.cache,
+            approach=job.request.approach,
+            error=error,
+            ii=result.get("ii") if result else None,
+            trace=job.id if self.trace_dir is not None else None,
+        )
 
     def submit(self, payload: Dict[str, object]) -> Job:
         """Validate, answer from the store if possible, else enqueue."""
+        handler_started = time.monotonic()
         request = MapRequest.from_payload(
             payload,
             default_budget_seconds=self.default_budget_seconds,
@@ -491,6 +534,27 @@ class MappingService:
             job = Job(id=f"j{self._seq:06d}", request=request, key=key)
             self.jobs[job.id] = job
             self.counters["submitted"] += 1
+        if self.trace_dir is not None:
+            # the validation/submission slice of the HTTP handler, tagged
+            # with the job id so the per-job export captures it (the span
+            # is synthesized *before* the job can finish, so the export
+            # never races it)
+            obs_trace.push_trace(job.id)
+            obs_trace.add_complete(
+                "http.handler", handler_started,
+                time.monotonic() - handler_started,
+                parent=0, route="POST /v1/jobs", job=job.id,
+            )
+            obs_trace.pop_trace()
+        logjson.log(
+            "request",
+            job=job.id,
+            key=key,
+            approach=request.approach,
+            source=request.source_kind,
+            cgra=request.cgra_size,
+            priority=request.priority,
+        )
         self._append_event(job, {"event": "submitted", "key": key})
 
         stored = self._store_get(key)
@@ -498,7 +562,7 @@ class MappingService:
             with self._lock:
                 self.counters["cache_hits"] += 1
             job.cache = "hit"
-            job.started = time.time()
+            job.started = self._now()
             self._append_event(job, {"event": "cache_hit"})
             # replay the improvement stream the original computation
             # produced, so streaming clients see the same shape
@@ -508,6 +572,7 @@ class MappingService:
             return job
 
         self._queue.put((-request.priority, self._seq, job.id))
+        metrics.set_gauge("repro_service_queue_depth", self._queue.qsize())
         return job
 
     def get(self, job_id: str) -> Job:
@@ -543,6 +608,8 @@ class MappingService:
             except queue.Empty:
                 continue
             job = self.jobs[job_id]
+            metrics.set_gauge("repro_service_queue_depth",
+                              self._queue.qsize())
             if job.cancel_requested:
                 with self._lock:
                     self.counters["cancelled"] += 1
@@ -550,12 +617,46 @@ class MappingService:
                 continue
             self._run_job(job, index, fabric_cache)
 
+    def _export_trace(self, job: Job) -> None:
+        """Write the job's merged span slice as Chrome trace JSON."""
+        snap = obs_trace.snapshot(trace=job.id, clear=True)
+        if not snap["events"]:
+            return
+        path = os.path.join(self.trace_dir, f"{job.id}.json")
+        try:
+            count = obs_trace.write_chrome_trace(path, snap=snap)
+        except OSError as exc:
+            logjson.log("trace_warning", job=job.id, error=repr(exc))
+            return
+        logjson.log("trace_export", job=job.id, path=path, spans=count)
+
     def _run_job(self, job: Job, worker_index: int,
                  fabric_cache: Dict[str, CGRA]) -> None:
+        tracing = self.trace_dir is not None
+        if tracing:
+            # every span this worker thread opens while the job runs --
+            # including the engine's own -- is tagged with the job id
+            obs_trace.push_trace(job.id)
+        try:
+            with obs_trace.span("worker.run", job=job.id,
+                                worker=worker_index):
+                self._run_job_impl(job, worker_index, fabric_cache)
+        finally:
+            if tracing:
+                obs_trace.pop_trace()
+                self._export_trace(job)
+
+    def _run_job_impl(self, job: Job, worker_index: int,
+                      fabric_cache: Dict[str, CGRA]) -> None:
         request = job.request
         with job.cond:
             job.status = JOB_RUNNING
-            job.started = time.time()
+            job.started = self._now()
+        # the time between submission and pickup, as a sibling span that
+        # ends exactly where worker.run begins
+        wait = max(job.started - job.created, 0.0)
+        obs_trace.add_complete("queue.wait", time.monotonic() - wait, wait,
+                               parent=0, job=job.id)
         fabric_key = content_key(request.fabric_record())
         cgra = fabric_cache.get(fabric_key)
         warm = cgra is not None
@@ -571,6 +672,7 @@ class MappingService:
         else:
             with self._lock:
                 self.counters["fabric_cache_hits"] += 1
+            metrics.inc("repro_service_fabric_cache_hits_total")
         self._append_event(job, {"event": "started", "worker": worker_index,
                                  "warm_fabric": warm})
 
@@ -590,6 +692,9 @@ class MappingService:
             solver_backend=request.solver_backend or "arena",
             strategy=request.strategy,
             on_event=on_event,
+            # tracing wants the detailed per-phase solver clocks: they
+            # become the synthesized solver-tier child spans
+            profile=self.trace_dir is not None,
         )
         engine_start = time.monotonic()
         try:

@@ -10,6 +10,7 @@ codes live in ``docs/service.md``; the request/job semantics live in
 Routes::
 
     GET    /healthz              liveness + counters + store stats
+    GET    /metrics              Prometheus text exposition (repro.obs)
     GET    /v1/engines           engine registry (names, aliases, blurbs)
     POST   /v1/jobs              submit; 200 on a store hit, 202 queued
     GET    /v1/jobs              list job summaries
@@ -30,6 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import logjson, metrics
 from repro.service.jobs import MappingService, RequestError
 
 #: bound on accepted request bodies; a kernel or DFG payload is small,
@@ -69,6 +71,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: object) -> None:
+        # the structured run log always gets the access record; the
+        # ad-hoc stderr line only without --quiet
+        logjson.log("http_access", client=self.address_string(),
+                    line=format % args)
         if getattr(self.server, "quiet", False):
             return
         BaseHTTPRequestHandler.log_message(self, format, *args)
@@ -108,6 +114,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         segments = [s for s in parts.path.split("/") if s]
         if segments[:1] == ["healthz"]:
             return "healthz", None, None, query
+        if segments[:1] == ["metrics"]:
+            return "metrics", None, None, query
         if segments[:1] != ["v1"]:
             return "", None, None, query
         rest = segments[1:]
@@ -126,12 +134,38 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return "store_stats", None, None, query
         return "", None, None, query
 
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: the registry in Prometheus text exposition.
+
+        Gauges that describe *current* state (queue depth, store size)
+        are refreshed at scrape time so the exposition is live even when
+        nothing recently moved them.
+        """
+        service = self.service
+        metrics.set_gauge("repro_service_queue_depth",
+                          service._queue.qsize())
+        if service.store is not None:
+            stats = service.store.stats()
+            metrics.set_gauge("repro_store_records", stats["records"])
+            metrics.set_gauge("repro_store_shards", stats["files"])
+        body = metrics.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
             collection, job_id, sub, query = self._route()
+            metrics.inc("repro_http_requests_total", method="GET",
+                        route=collection or "unknown")
             if collection == "healthz":
                 self._send_json(200, self.service.health())
+            elif collection == "metrics":
+                self._send_metrics()
             elif collection == "engines":
                 self._send_json(200, _engine_listing())
             elif collection == "store_stats":
@@ -162,6 +196,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         try:
             collection, job_id, sub, _ = self._route()
+            metrics.inc("repro_http_requests_total", method="POST",
+                        route=collection or "unknown")
             if collection != "jobs" or job_id is not None or sub is not None:
                 self._send_error_json(404, "not_found",
                                       f"no such resource: {self.path}")
@@ -182,6 +218,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802
         try:
             collection, job_id, sub, _ = self._route()
+            metrics.inc("repro_http_requests_total", method="DELETE",
+                        route=collection or "unknown")
             if collection != "jobs" or job_id is None or sub is not None:
                 self._send_error_json(404, "not_found",
                                       f"no such resource: {self.path}")

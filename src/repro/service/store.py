@@ -45,6 +45,8 @@ import json
 import os
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.obs import logjson, metrics
+
 #: truncated-digest length; 96 bits of SHA-256 -- collision-safe for any
 #: realistic store size while keeping keys short enough to read in logs
 KEY_HEX_CHARS = 24
@@ -98,6 +100,11 @@ class ResultStore:
         self._index: Optional[Dict[str, Dict[str, object]]] = None
         self._header_written = False
         self._appends = 0
+        # load-time hygiene counters: lines the loader had to skip
+        # (torn/foreign -> skipped_lines, keyless provenance headers ->
+        # header_lines), surfaced via stats() and /v1/store/stats
+        self._skipped_lines = 0
+        self._header_lines = 0
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -119,8 +126,7 @@ class ResultStore:
             if name.endswith(".jsonl"):
                 yield os.path.join(shard_dir, name)
 
-    @staticmethod
-    def _iter_records(path: str) -> Iterator[Tuple[str, Dict[str, object]]]:
+    def _iter_records(self, path: str) -> Iterator[Tuple[str, Dict[str, object]]]:
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -128,18 +134,43 @@ class ResultStore:
                     continue
                 try:
                     record = json.loads(line)
-                    key = record["key"]
-                except (ValueError, KeyError, TypeError):
-                    continue  # header / truncated / foreign lines
-                if isinstance(record, dict) and isinstance(key, str):
-                    yield key, record
+                except ValueError:
+                    # torn trailing line from a crash, or a foreign file:
+                    # skipped, but no longer silently
+                    self._skipped_lines += 1
+                    continue
+                if not isinstance(record, dict):
+                    self._skipped_lines += 1
+                    continue
+                key = record.get("key")
+                if not isinstance(key, str):
+                    # keyless provenance headers are expected; anything
+                    # else keyless is a foreign record worth counting
+                    if "header" in record:
+                        self._header_lines += 1
+                    else:
+                        self._skipped_lines += 1
+                    continue
+                yield key, record
 
     def _load(self) -> Dict[str, Dict[str, object]]:
         if self._index is None:
             self._index = {}
+            self._skipped_lines = 0
+            self._header_lines = 0
             for path in self._iter_files():
                 for key, record in self._iter_records(path):
                     self._index[key] = record
+            if self._skipped_lines:
+                metrics.inc("repro_store_skipped_lines_total",
+                            self._skipped_lines)
+                logjson.log(
+                    "store_warning",
+                    path=self.path,
+                    skipped_lines=self._skipped_lines,
+                    header_lines=self._header_lines,
+                    message="skipped malformed store lines during load",
+                )
         return self._index
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
@@ -165,6 +196,8 @@ class ResultStore:
             "records": len(index),
             "files": shards,
             "appends_this_session": self._appends,
+            "skipped_lines": self._skipped_lines,
+            "header_lines": self._header_lines,
             "writable": self.writable,
         }
 

@@ -25,6 +25,8 @@ import importlib.util
 import os
 from typing import List, Optional, Type
 
+from repro.obs import metrics
+
 from ..sat import SATSolver
 from . import ckernel
 
@@ -150,9 +152,16 @@ def _forced_tier() -> Optional[NativeKernel]:
 def _select() -> NativeKernel:
     forced = _forced_tier()
     if forced is not None:
+        metrics.inc("repro_solver_tier_selected_total", tier=forced.name)
         return forced
-    for tier in KERNEL_TIERS:
+    for index, tier in enumerate(KERNEL_TIERS):
         if tier.available():
+            metrics.inc("repro_solver_tier_selected_total", tier=tier.name)
+            if index > 0:
+                # a better tier exists but could not be used (C kernel
+                # unbuildable, numpy missing): a silent-but-safe downgrade
+                # worth counting
+                metrics.inc("repro_solver_tier_degradations_total")
             return tier
     return KERNEL_TIERS[-1]  # pragma: no cover - arena is always available
 

@@ -433,3 +433,143 @@ class TestRefineStrategy:
                                seed=7, strategy="refine", on_event=explode)
         with pytest.raises(Abort):
             engine.map(load_benchmark("running_example"))
+
+
+# --------------------------------------------------------------------- #
+# Observability: /metrics, event timestamps, per-job traces
+# --------------------------------------------------------------------- #
+class TestServiceObservability:
+    def test_every_streamed_event_carries_a_ts(self, service):
+        job = service.submit(dict(REFINE_PAYLOAD))
+        events = list(service.stream_events(job.id))
+        assert events  # submitted .. done at minimum
+        stamps = [e["ts"] for e in events]
+        assert all(isinstance(ts, float) for ts in stamps)
+        assert stamps == sorted(stamps)  # monotonic-anchored ordering
+
+    def test_metrics_exposition_over_http(self, live_server):
+        from tests.test_obs import assert_valid_exposition
+
+        service, client = live_server
+        first = service.submit({"benchmark": "running_example",
+                                "approach": "monomorphism"})
+        list(service.stream_events(first.id))
+        before = client.metrics()
+        assert_valid_exposition(before)
+        names = {line.split()[2] for line in before.splitlines()
+                 if line.startswith("# TYPE")}
+        assert len(names) >= 12
+
+        def sample(text, prefix):
+            return sum(
+                float(line.rsplit(" ", 1)[1])
+                for line in text.splitlines()
+                if line.startswith(prefix) and not line.startswith("#"))
+
+        # a second identical request is a pure store hit: the store-hit
+        # counter moves, the engine-run counter does not
+        second = service.submit({"benchmark": "running_example",
+                                 "approach": "monomorphism"})
+        assert second.cache == "hit"
+        after = client.metrics()
+        assert_valid_exposition(after)
+        assert (sample(after, "repro_store_hits_total")
+                == sample(before, "repro_store_hits_total") + 1)
+        assert (sample(after, "repro_engine_runs_total")
+                == sample(before, "repro_engine_runs_total"))
+        assert sample(after, 'repro_service_jobs_total{status="hit"}') >= 1
+        assert sample(after, "repro_http_requests_total") > 0
+        # scrape-time gauges reflect the live store
+        assert (sample(after, "repro_store_records")
+                == service.store.stats()["records"])
+
+    def test_store_counts_skipped_lines(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        store = ResultStore(path)
+        store.put("a1" * 12, {"value": 1})
+        with open(path, "a") as handle:
+            handle.write('{"key": "torn\n')          # torn append
+            handle.write('["not", "a", "dict"]\n')   # foreign line
+            handle.write('{"keyless": true}\n')      # keyless non-header
+        reloaded = ResultStore(path)
+        stats = reloaded.stats()
+        assert stats["records"] == 1
+        assert stats["skipped_lines"] == 3
+        assert stats["header_lines"] == 0
+
+    def test_skipped_lines_surface_in_service_health(self, tmp_path):
+        root = tmp_path / "results"
+        svc = MappingService(store_path=str(root), workers=1)
+        try:
+            job = svc.submit({"benchmark": "running_example",
+                              "approach": "monomorphism"})
+            list(svc.stream_events(job.id))
+        finally:
+            svc.shutdown()
+        shard = next((root / "shards").glob("*.jsonl"))
+        with open(shard, "a") as handle:
+            handle.write('{"key": "torn')
+        fresh = MappingService(store_path=str(root), workers=1)
+        try:
+            assert fresh.health()["store"]["skipped_lines"] == 1
+        finally:
+            fresh.shutdown()
+
+    def test_traced_job_exports_one_merged_chrome_trace(self, tmp_path):
+        from repro.obs import trace as obs_trace
+
+        obs_trace.reset()
+        trace_dir = tmp_path / "traces"
+        svc = MappingService(workers=2, trace_dir=str(trace_dir))
+        try:
+            job = svc.submit({"benchmark": "running_example",
+                              "approach": "monomorphism"})
+            list(svc.stream_events(job.id))
+            assert job.status == "done"
+        finally:
+            svc.shutdown()
+            obs_trace.disable()
+            obs_trace.reset()
+        path = trace_dir / f"{job.id}.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        # the acceptance chain: HTTP handler -> queue wait -> worker ->
+        # engine -> solver tier, all in one file
+        for name in ("http.handler", "queue.wait", "worker.run",
+                     "engine.map"):
+            assert name in spans, sorted(spans)
+        assert any(name.startswith("solver:") for name in spans)
+        sids = {e["args"]["span_id"] for e in doc["traceEvents"]
+                if e["ph"] == "X"}
+        engine = spans["engine.map"]
+        assert engine["args"]["parent_id"] == \
+            spans["worker.run"]["args"]["span_id"]
+        for event in doc["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            parent = event["args"]["parent_id"]
+            assert parent == 0 or parent in sids
+            assert event["args"]["trace"] == job.id
+
+    def test_second_traced_job_gets_its_own_file(self, tmp_path):
+        from repro.obs import trace as obs_trace
+
+        obs_trace.reset()
+        trace_dir = tmp_path / "traces"
+        svc = MappingService(workers=1, trace_dir=str(trace_dir))
+        try:
+            jobs = []
+            for benchmark in ("running_example", "bitcount"):
+                job = svc.submit({"benchmark": benchmark, "cgra": "2x2"})
+                list(svc.stream_events(job.id))
+                jobs.append(job)
+        finally:
+            svc.shutdown()
+            obs_trace.disable()
+            obs_trace.reset()
+        for job in jobs:
+            doc = json.loads((trace_dir / f"{job.id}.json").read_text())
+            traces = {e["args"]["trace"] for e in doc["traceEvents"]
+                      if e["ph"] == "X"}
+            assert traces == {job.id}  # no neighbour's spans leaked in
