@@ -13,10 +13,29 @@ OS resources go with it.
 
 from __future__ import annotations
 
+import signal
 from typing import Optional
 
 #: per-stage join patience; two stages bound reap() at twice this
 DEFAULT_REAP_GRACE_SECONDS = 5.0
+
+
+def describe_exit(exitcode: Optional[int]) -> str:
+    """Human-readable form of a ``Process.exitcode``.
+
+    ``multiprocessing`` encodes death-by-signal as a negative exit code;
+    supervisors attribute crashes in events and logs with this
+    (``signal 9 (SIGKILL)``, ``exit 3``, ``no exit code``).
+    """
+    if exitcode is None:
+        return "no exit code"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = "?"
+        return f"signal {-exitcode} ({name})"
+    return f"exit {exitcode}"
 
 
 def reap(

@@ -30,6 +30,21 @@ _path: Optional[str] = None
 _env_checked = False
 
 
+def _after_fork_in_child() -> None:
+    # a forked worker shares the parent's file offset through the
+    # inherited handle; drop it (and take a fresh lock) so only the
+    # parent process ever writes the run log
+    global _lock, _handle, _path, _env_checked
+    _lock = threading.Lock()
+    _handle = None
+    _path = None
+    _env_checked = True
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
 def configure(path: Optional[str]) -> None:
     """Open (append) the run log at ``path``; ``None`` turns logging off."""
     global _handle, _path, _env_checked

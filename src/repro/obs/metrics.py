@@ -15,6 +15,7 @@ tests and the ``repro-map map --metrics`` summary table.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -45,6 +46,18 @@ BUCKET_BOUNDS: Tuple[float, ...] = (
 
 _HELP: Dict[str, str] = {}
 _TYPE: Dict[str, str] = {}
+
+
+def _after_fork_in_child() -> None:
+    # a service worker can fork while another thread holds the registry
+    # lock; the child must get a fresh, unlocked one or its first metric
+    # call deadlocks (its copied series are private and harmless)
+    global _lock
+    _lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 def describe(name: str, kind: str, help_text: str) -> None:
@@ -217,3 +230,18 @@ describe("repro_http_requests_total", "counter",
          "HTTP requests served by the daemon, by method and route.")
 describe("repro_batch_cases_total", "counter",
          "Batch-runner cases by outcome (ok/error/timeout/cache_hit).")
+describe("repro_worker_crashes_total", "counter",
+         "Service worker-process deaths by reason "
+         "(crashed/stalled/hard_timeout).")
+describe("repro_worker_restarts_total", "counter",
+         "Service worker processes restarted by the supervisor.")
+describe("repro_job_retries_total", "counter",
+         "Service jobs requeued after a worker crash, by crash reason.")
+describe("repro_backend_demotions_total", "counter",
+         "Solver-backend demotions after repeated crashes on one job.")
+describe("repro_service_degraded", "gauge",
+         "1 when the process pool is unhealthy and jobs run in-thread.")
+describe("repro_store_size_bytes", "gauge",
+         "Total bytes held by the result store's files.")
+describe("repro_journal_jobs_total", "counter",
+         "Queued jobs checkpointed to / recovered from the drain journal.")

@@ -89,6 +89,18 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def _after_fork_in_child() -> None:
+    # forked workers inherit the buffer lock in whatever state the
+    # forking moment caught it; give the child a fresh one (children that
+    # trace call reset() themselves before recording)
+    global _lock
+    _lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
 def _stack() -> List[int]:
     stack = getattr(_tls, "stack", None)
     if stack is None:

@@ -1,15 +1,23 @@
 """``repro-serve`` -- run or query the persistent compile service.
 
-Two subcommands:
+Three subcommands:
 
-* ``repro-serve start`` binds the HTTP server and blocks until
-  interrupted. ``--store`` points at the content-addressed result store
-  (a directory for the sharded layout, a ``.jsonl`` path for the legacy
-  flat file); without it results are cached in memory only.
+* ``repro-serve start`` binds the HTTP server and blocks until it
+  receives SIGTERM/SIGINT, then drains: submissions get 503 +
+  ``Retry-After``, in-flight jobs finish (up to ``--drain-timeout``),
+  still-queued jobs are checkpointed to a journal next to the store and
+  recovered by the next start. ``--store`` points at the
+  content-addressed result store (a directory for the sharded layout, a
+  ``.jsonl`` path for the legacy flat file); without it results are
+  cached in memory only.
 * ``repro-serve status`` queries a running server's ``/healthz`` and
   prints it as JSON -- the scriptable liveness probe.
+* ``repro-serve compact`` rewrites a store's files dropping torn,
+  keyless and superseded lines (atomic per-file rename; live records are
+  preserved byte-identically).
 
-See ``docs/service.md`` for the HTTP API the started server exposes and
+See ``docs/service.md`` for the HTTP API the started server exposes,
+``docs/robustness.md`` for the failure-handling lifecycle, and
 ``repro-map map --remote URL`` for the client side.
 """
 
@@ -17,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from typing import List, Optional
 
 from repro import __version__
@@ -34,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     start = sub.add_parser(
-        "start", help="run the compile server (blocks until interrupted)")
+        "start", help="run the compile server (blocks until signalled)")
     start.add_argument("--host", default="127.0.0.1",
                        help="address to bind (default: %(default)s)")
     start.add_argument("--port", type=int, default=8780,
@@ -43,7 +53,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result store: a directory (sharded) or a "
                             ".jsonl file (flat); default: in-memory only")
     start.add_argument("--workers", type=int, default=2,
-                       help="mapping worker threads (default: %(default)s)")
+                       help="mapping workers (default: %(default)s)")
+    start.add_argument("--execution", choices=("process", "thread"),
+                       default="process",
+                       help="run jobs in crash-isolated worker processes "
+                            "with supervised restarts, or in the legacy "
+                            "in-thread pool (default: %(default)s)")
+    start.add_argument("--max-retries", type=int, default=2,
+                       help="times a job whose worker crashed or stalled "
+                            "is requeued before failing "
+                            "(default: %(default)s)")
+    start.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="busy-worker heartbeat silence tolerated "
+                            "before the supervisor declares it stalled "
+                            "(default: %(default)s)")
+    start.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, wait this long for "
+                            "in-flight jobs before exiting "
+                            "(default: %(default)s)")
     start.add_argument("--default-budget", type=float, default=30.0,
                        metavar="SECONDS",
                        help="budget for requests that do not set one "
@@ -66,10 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="print a running server's /healthz as JSON")
     status.add_argument("--url", default="http://127.0.0.1:8780",
                         help="server base URL (default: %(default)s)")
+
+    compact = sub.add_parser(
+        "compact",
+        help="rewrite a result store dropping torn and superseded lines")
+    compact.add_argument("--store", required=True, metavar="PATH",
+                         help="store to compact: a directory (sharded) "
+                              "or a .jsonl file (flat)")
     return parser
 
 
 def _cmd_start(args: argparse.Namespace) -> int:
+    from repro.obs import logjson
     from repro.service.jobs import MappingService
     from repro.service.server import create_server
 
@@ -77,8 +114,6 @@ def _cmd_start(args: argparse.Namespace) -> int:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     if args.log_json:
-        from repro.obs import logjson
-
         logjson.configure(args.log_json)
     service = MappingService(
         store_path=args.store,
@@ -86,19 +121,59 @@ def _cmd_start(args: argparse.Namespace) -> int:
         default_budget_seconds=args.default_budget,
         max_budget_seconds=args.max_budget,
         trace_dir=args.trace_dir,
+        execution=args.execution,
+        max_retries=args.max_retries,
+        heartbeat_timeout_seconds=args.heartbeat_timeout,
     )
+    recovered = service.recover_journal()
+    if recovered:
+        print(f"recovered {recovered} journaled job(s) from a previous "
+              "drain")
     server = create_server(service, host=args.host, port=args.port,
                            quiet=args.quiet)
+
+    stop_requested = threading.Event()
+
+    def handle_signal(signum: int, _frame: object) -> None:
+        # stop accepting immediately (submissions start answering 503);
+        # the main thread takes it from there
+        service.begin_drain()
+        stop_requested.set()
+
+    try:
+        signal.signal(signal.SIGTERM, handle_signal)
+        signal.signal(signal.SIGINT, handle_signal)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+    serve_thread = threading.Thread(target=server.serve_forever,
+                                    name="repro-serve-http", daemon=True)
+    serve_thread.start()
     store_note = args.store if args.store else "in-memory"
     print(f"repro-serve listening on http://{args.host}:{args.port} "
-          f"({args.workers} worker(s), store: {store_note})")
+          f"({args.workers} {args.execution} worker(s), "
+          f"store: {store_note})", flush=True)
     try:
-        server.serve_forever()
+        while not stop_requested.wait(timeout=0.2):
+            pass
     except KeyboardInterrupt:
-        print("\nshutting down")
-    finally:
-        server.shutdown()
-        service.shutdown()
+        service.begin_drain()
+
+    # drain with HTTP still up: in-flight event streams finish, new
+    # submissions see 503 + Retry-After, queued work is journaled
+    print(f"\ndraining (up to {args.drain_timeout:.0f}s) ...", flush=True)
+    summary = service.drain(timeout=args.drain_timeout)
+    server.shutdown()
+    server.server_close()
+    service.shutdown()
+    if summary["journaled"]:
+        print(f"journaled {summary['journaled']} queued job(s); "
+              "they will be recovered on the next start")
+    if summary["running"]:
+        print(f"abandoned in-flight job(s): "
+              f"{', '.join(summary['running'])}", file=sys.stderr)
+    logjson.close()
+    print("shutdown complete")
     return 0
 
 
@@ -115,10 +190,25 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.store)
+    try:
+        summary = store.compact()
+    except OSError as exc:
+        print(f"error: cannot compact {args.store}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "start":
         return _cmd_start(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
     return _cmd_status(args)
 
 

@@ -6,6 +6,14 @@ with the server's error code on non-2xx answers. It is what the tests
 and ``repro-map map --remote`` use; nothing in it depends on the server
 being in-process.
 
+Transient failures are retried: connection errors and 5xx answers on
+idempotent requests (every GET, plus job submission -- the store is
+content-addressed, so re-POSTing a payload lands on the same record)
+back off exponentially with jitter, honoring a ``Retry-After`` header
+when the server sends one (it does while draining for shutdown). After
+the retry budget, or for anything non-retryable, the failure surfaces as
+:class:`ServiceError` -- callers never see raw ``urllib`` exceptions.
+
 Typical round trip::
 
     client = ServiceClient("http://127.0.0.1:8780")
@@ -19,53 +27,139 @@ Typical round trip::
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Dict, Iterator, Optional
 
+#: job statuses after which polling stops (matches jobs.TERMINAL_STATUSES)
+TERMINAL = ("done", "failed", "cancelled", "journaled")
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx answer from the service, carrying its error envelope."""
+    """A failed service interaction, carrying the server's error envelope.
+
+    ``status`` is the HTTP status, or ``0`` when the server could not be
+    reached at all (connection refused, reset, DNS failure); ``code`` is
+    the server's machine-readable error code (``"unreachable"`` for the
+    status-0 case).
+    """
 
     def __init__(self, status: int, code: str, message: str) -> None:
         super().__init__(f"{code} ({status}): {message}")
         self.status = status
         self.code = code
 
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying the same request could plausibly succeed."""
+        return self.status == 0 or self.status >= 500 or self.status == 503
+
+
+def _error_from_http(exc: urllib.error.HTTPError) -> ServiceError:
+    try:
+        envelope = json.loads(exc.read().decode("utf-8"))
+        error = envelope.get("error", {})
+        return ServiceError(exc.code, str(error.get("code", "unknown")),
+                            str(error.get("message", "")))
+    except (ValueError, AttributeError, OSError):
+        return ServiceError(exc.code, "unknown", str(exc))
+
+
+def _retry_after_seconds(exc: urllib.error.HTTPError) -> Optional[float]:
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
 
 class ServiceClient:
-    """One compile-service endpoint, addressed by base URL."""
+    """One compile-service endpoint, addressed by base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8780``.
+        timeout: per-request socket timeout in seconds.
+        retries: transient-failure retries per idempotent request
+            (``0`` disables retrying entirely).
+        backoff_seconds: first retry delay; doubles per attempt up to
+            ``backoff_cap_seconds``, with up to 50% random jitter added.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff_seconds: float = 0.2,
+                 backoff_cap_seconds: float = 2.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
 
     # ------------------------------------------------------------------ #
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
+        if retry_after is not None:
+            time.sleep(min(retry_after, self.backoff_cap_seconds * 4))
+            return
+        delay = min(self.backoff_seconds * (2 ** attempt),
+                    self.backoff_cap_seconds)
+        time.sleep(delay + random.uniform(0.0, delay / 2))
+
     def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, object]] = None):
+                 payload: Optional[Dict[str, object]] = None,
+                 headers: Optional[Dict[str, str]] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None):
         data = None
-        headers = {"Accept": "application/json"}
+        send_headers = {"Accept": "application/json"}
+        if headers:
+            send_headers.update(headers)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method)
-        try:
-            return urllib.request.urlopen(request, timeout=self.timeout)
-        except urllib.error.HTTPError as exc:
+            send_headers["Content-Type"] = "application/json"
+        # GETs are trivially idempotent; so is job submission, because
+        # the request is content-addressed server-side -- a duplicate
+        # POST lands on the same job/store record, never a second run
+        idempotent = method in ("GET", "HEAD") or (
+            method == "POST" and path == "/v1/jobs")
+        budget = self.retries if retries is None else max(0, int(retries))
+        if not idempotent:
+            budget = 0
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                self.base_url + path, data=data, headers=dict(send_headers),
+                method=method)
             try:
-                envelope = json.loads(exc.read().decode("utf-8"))
-                error = envelope.get("error", {})
-                raise ServiceError(exc.code,
-                                   str(error.get("code", "unknown")),
-                                   str(error.get("message", ""))) from exc
-            except (ValueError, AttributeError):
-                raise ServiceError(exc.code, "unknown", str(exc)) from exc
+                return urllib.request.urlopen(
+                    request,
+                    timeout=self.timeout if timeout is None else timeout)
+            except urllib.error.HTTPError as exc:
+                error = _error_from_http(exc)
+                if error.retryable and attempt < budget:
+                    self._backoff(attempt, _retry_after_seconds(exc))
+                    attempt += 1
+                    continue
+                raise error from exc
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                if attempt < budget:
+                    self._backoff(attempt, None)
+                    attempt += 1
+                    continue
+                reason = getattr(exc, "reason", None) or exc
+                raise ServiceError(
+                    0, "unreachable",
+                    f"{method} {self.base_url}{path}: {reason}") from exc
 
     def _json(self, method: str, path: str,
-              payload: Optional[Dict[str, object]] = None) -> Dict[str, object]:
-        with self._request(method, path, payload) as response:
+              payload: Optional[Dict[str, object]] = None,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None) -> Dict[str, object]:
+        with self._request(method, path, payload,
+                           timeout=timeout, retries=retries) as response:
             return json.loads(response.read().decode("utf-8"))
 
     # ------------------------------------------------------------------ #
@@ -90,8 +184,10 @@ class ServiceClient:
     def jobs(self) -> Dict[str, object]:
         return self._json("GET", "/v1/jobs")
 
-    def job(self, job_id: str) -> Dict[str, object]:
-        return self._json("GET", f"/v1/jobs/{job_id}")["job"]
+    def job(self, job_id: str, timeout: Optional[float] = None,
+            retries: Optional[int] = None) -> Dict[str, object]:
+        return self._json("GET", f"/v1/jobs/{job_id}", timeout=timeout,
+                          retries=retries)["job"]
 
     def cancel(self, job_id: str) -> Dict[str, object]:
         return self._json("DELETE", f"/v1/jobs/{job_id}")["job"]
@@ -107,45 +203,64 @@ class ServiceClient:
 
         ``timeout`` bounds the *socket* idle time between lines, not the
         total stream duration -- a long-running job that keeps improving
-        keeps the stream alive.
+        keeps the stream alive. Connection failures while opening the
+        stream retry like any idempotent request; a drop mid-stream
+        surfaces as :class:`ServiceError` (resume with ``start=``).
         """
         path = f"/v1/jobs/{job_id}/events"
         if start:
             path += f"?from={start}"
-        request = urllib.request.Request(
-            self.base_url + path, headers={"Accept": "application/x-ndjson"})
-        try:
-            response = urllib.request.urlopen(
-                request, timeout=timeout if timeout is not None
-                else self.timeout)
-        except urllib.error.HTTPError as exc:
-            envelope = json.loads(exc.read().decode("utf-8"))
-            error = envelope.get("error", {})
-            raise ServiceError(exc.code, str(error.get("code", "unknown")),
-                               str(error.get("message", ""))) from exc
+        response = self._request(
+            "GET", path, headers={"Accept": "application/x-ndjson"},
+            timeout=timeout)
         with response:
-            for line in response:
-                line = line.strip()
-                if line:
-                    yield json.loads(line.decode("utf-8"))
+            try:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+            except (OSError, ValueError) as exc:
+                raise ServiceError(
+                    0, "stream_interrupted",
+                    f"event stream for {job_id} dropped: {exc}") from exc
 
     def wait(self, job_id: str, timeout: float = 120.0,
              poll_seconds: float = 0.05) -> Dict[str, object]:
-        """Poll until the job is terminal; raises TimeoutError otherwise."""
+        """Poll until the job is terminal; raises TimeoutError otherwise.
+
+        ``timeout`` is a monotonic *overall* deadline: it also caps each
+        poll's socket timeout, so a hung server surfaces as
+        ``TimeoutError`` when the deadline passes, not after the full
+        per-request socket timeout on top of it. Transient poll failures
+        (connection refused, 5xx) keep polling until the deadline.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            job = self.job(job_id)
-            if job["status"] in ("done", "failed", "cancelled"):
-                return job
-            if time.monotonic() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
-                    f"job {job_id} still {job['status']} after {timeout}s")
+                    f"job {job_id} not terminal after {timeout}s")
+            try:
+                job = self.job(job_id,
+                               timeout=max(min(self.timeout, remaining),
+                                           0.05),
+                               retries=0)
+            except ServiceError as exc:
+                if not exc.retryable:
+                    raise
+                job = None
+            if job is not None and job["status"] in TERMINAL:
+                return job
+            if time.monotonic() + poll_seconds > deadline:
+                status = job["status"] if job is not None else "unreachable"
+                raise TimeoutError(
+                    f"job {job_id} still {status} after {timeout}s")
             time.sleep(poll_seconds)
 
     def map(self, payload: Dict[str, object],
             timeout: float = 120.0) -> Dict[str, object]:
         """Submit and block until terminal: the one-call remote ``map()``."""
         job = self.submit(payload)
-        if job["status"] in ("done", "failed", "cancelled"):
+        if job["status"] in TERMINAL:
             return job
         return self.wait(job["id"], timeout=timeout)

@@ -24,6 +24,21 @@ callback, ``done``/``failed``/``cancelled``), observable live through
 layer's ``GET /v1/jobs/<id>/events``. Improvement events are persisted
 with the result, so a cache hit replays the same stream the original
 computation produced.
+
+**Fault tolerance.** By default (``execution="process"``) each job runs
+in a crash-isolated worker *process* supervised by its worker thread
+(:mod:`repro.service.procpool`): a worker that dies (signal, nonzero
+exit, stalled heartbeat) is restarted and the job requeued with a
+bounded retry budget and exponential backoff, the crash attributed in
+the job's event stream (``worker_crashed``/``retrying``), counters and
+the run log. A native-tier solver that crashes the worker repeatedly on
+one job is demoted ``native -> numpy -> arena`` before giving up; if
+worker processes cannot be started at all the service *degrades* to the
+legacy in-thread path (``execution="thread"``) and says so in
+``/healthz``. Draining (:meth:`MappingService.drain`) rejects new
+submissions with :class:`ServiceUnavailable`, finishes in-flight work,
+and checkpoints still-queued payloads to a journal next to the store
+that :meth:`MappingService.recover_journal` resubmits on restart.
 """
 
 from __future__ import annotations
@@ -39,10 +54,12 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.arch.cgra import CGRA
 from repro.arch.spec import ArchSpec, preset_names, resolve_arch
 from repro.core.engine import create_engine, normalize_engine
+from repro.experiments.batch import ARENA_IDENTICAL_BACKENDS
 from repro.experiments.runner import parse_size
 from repro.graphs.dfg import DFG
 from repro.obs import logjson, metrics
 from repro.obs import trace as obs_trace
+from repro.service import procpool
 from repro.service.store import ResultStore, content_key
 
 #: statuses a job can be in; terminal ones never change again
@@ -51,16 +68,47 @@ JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
 JOB_CANCELLED = "cancelled"
-TERMINAL_STATUSES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+JOB_JOURNALED = "journaled"  # checkpointed by a drain; resubmitted on restart
+TERMINAL_STATUSES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED, JOB_JOURNALED)
 
 #: result statuses worth persisting: deterministic facts about the
 #: configuration. Timeouts are *not* cached -- they describe the budget
 #: and the machine load, not the kernel.
 CACHEABLE_STATUSES = ("success", "no_solution", "infeasible")
 
+#: solver backends a request may name (mirrors ``repro-map``'s choices)
+SOLVER_BACKEND_CHOICES = ("arena", "native", "native-c", "numpy",
+                          "reference")
+
+#: supervised-retry policy: a crashed/stalled attempt is requeued at most
+#: this many times (hard_timeout is never retried -- a second full budget
+#: would be burned the same way), with exponentially growing backoff
+DEFAULT_MAX_RETRIES = 2
+RETRY_BACKOFF_BASE_SECONDS = 0.25
+RETRY_BACKOFF_CAP_SECONDS = 5.0
+
+#: graceful degradation: after this many crashes of one job on a native
+#: solver tier, retry one tier down (native -> numpy -> arena); the
+#: ladder only holds arena-identical tiers, so the store key is unchanged
+DEMOTE_AFTER_CRASHES = 2
+DEMOTION_LADDER = {"native": "numpy", "native-c": "numpy",
+                   "numpy": "arena"}
+
+#: slack on top of a job's budget before the supervisor declares the
+#: engine's own budget enforcement failed and puts the worker down
+DEFAULT_HARD_DEADLINE_GRACE_SECONDS = 30.0
+
 
 class RequestError(ValueError):
     """A malformed or unserviceable request payload (HTTP 400)."""
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service is draining and not accepting new jobs (HTTP 503)."""
+
+    def __init__(self, message: str, retry_after: int = 5) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class _JobCancelled(Exception):
@@ -196,9 +244,11 @@ class MapRequest:
             opt_passes = tuple(opt_passes)
 
         solver_backend = payload.get("solver_backend")
-        if solver_backend not in (None, "arena", "reference"):
+        if solver_backend is not None and \
+                solver_backend not in SOLVER_BACKEND_CHOICES:
             raise RequestError(
-                f"unknown solver_backend {solver_backend!r}")
+                f"unknown solver_backend {solver_backend!r}; expected one "
+                f"of {SOLVER_BACKEND_CHOICES}")
         if solver_backend == "arena" or approach == "heuristic":
             solver_backend = None  # one configuration, one key (cf. BatchCase)
 
@@ -284,7 +334,12 @@ class MapRequest:
             record["opt_level"] = self.opt_level
         if self.opt_passes:
             record["opt_passes"] = list(self.opt_passes)
-        if self.solver_backend is not None:
+        if self.solver_backend is not None and \
+                self.solver_backend not in ARENA_IDENTICAL_BACKENDS:
+            # the native tier family is bit-identical to arena (cf.
+            # BatchCase.cache_key), so only result-changing backends --
+            # today just "reference" -- fragment the key; this is also
+            # what lets crash-driven demotion keep the job's store key
             record["solver_backend"] = self.solver_backend
         if self.seed is not None:
             record["seed"] = self.seed
@@ -331,6 +386,13 @@ class Job:
     error: Optional[str] = None
     events: List[Dict[str, object]] = field(default_factory=list)
     cancel_requested: bool = False
+    #: the raw submitted payload, kept for the drain journal and so a
+    #: retried attempt re-validates exactly what the client sent
+    payload: Optional[Dict[str, object]] = None
+    #: supervised execution bookkeeping (process mode)
+    attempts: int = 0
+    crashes: int = 0
+    effective_backend: Optional[str] = None  # after any demotion
     cond: threading.Condition = field(default_factory=threading.Condition,
                                       repr=False)
 
@@ -349,7 +411,12 @@ class Job:
             "started": self.started,
             "finished": self.finished,
             "num_events": len(self.events),
+            "attempts": self.attempts,
         }
+        if self.crashes or self.attempts > 1:
+            view["crashes"] = self.crashes
+        if self.effective_backend != self.request.solver_backend:
+            view["effective_backend"] = self.effective_backend or "arena"
         if self.error is not None:
             view["error"] = self.error
         if include_result and self.result is not None:
@@ -405,14 +472,30 @@ class MappingService:
         default_budget_seconds: float = 30.0,
         max_budget_seconds: float = 300.0,
         trace_dir: Optional[str] = None,
+        execution: str = "process",
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        heartbeat_timeout_seconds: float =
+            procpool.DEFAULT_HEARTBEAT_TIMEOUT_SECONDS,
+        hard_deadline_grace_seconds: float =
+            DEFAULT_HARD_DEADLINE_GRACE_SECONDS,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if execution not in ("process", "thread"):
+            raise ValueError(
+                f"unknown execution mode {execution!r}; expected "
+                "'process' or 'thread'")
         self.store = (ResultStore(store_path, header={"writer": "repro-serve"})
                       if store_path else None)
         self._memory_cache: Dict[str, Dict[str, object]] = {}
         self.default_budget_seconds = default_budget_seconds
         self.max_budget_seconds = max_budget_seconds
+        self.execution = execution
+        self.max_retries = max(int(max_retries), 0)
+        self.heartbeat_timeout_seconds = heartbeat_timeout_seconds
+        self.hard_deadline_grace_seconds = hard_deadline_grace_seconds
+        self._degraded = False
+        self._draining = threading.Event()
         # per-job tracing: enabling the tracer here makes every worker's
         # spans recordable; each job's slice is exported (and removed from
         # the buffer) as <trace_dir>/<job_id>.json when the job finishes
@@ -433,6 +516,12 @@ class MappingService:
             "failed": 0,
             "cancelled": 0,
             "fabric_cache_hits": 0,
+            "worker_crashes": 0,
+            "worker_restarts": 0,
+            "retries": 0,
+            "demotions": 0,
+            "journaled": 0,
+            "recovered": 0,
         }
         self._lock = threading.Lock()
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
@@ -521,7 +610,15 @@ class MappingService:
         )
 
     def submit(self, payload: Dict[str, object]) -> Job:
-        """Validate, answer from the store if possible, else enqueue."""
+        """Validate, answer from the store if possible, else enqueue.
+
+        Raises :class:`ServiceUnavailable` while the service drains --
+        the HTTP layer answers 503 with a ``Retry-After`` so well-behaved
+        clients come back after the restart.
+        """
+        if self._draining.is_set():
+            raise ServiceUnavailable(
+                "service is draining; not accepting new jobs")
         handler_started = time.monotonic()
         request = MapRequest.from_payload(
             payload,
@@ -531,7 +628,9 @@ class MappingService:
         key = content_key(request.store_record())
         with self._lock:
             self._seq += 1
-            job = Job(id=f"j{self._seq:06d}", request=request, key=key)
+            job = Job(id=f"j{self._seq:06d}", request=request, key=key,
+                      payload=dict(payload),
+                      effective_backend=request.solver_backend)
             self.jobs[job.id] = job
             self.counters["submitted"] += 1
         if self.trace_dir is not None:
@@ -600,9 +699,16 @@ class MappingService:
         # warm per-worker state: fabrics are keyed by canonical content,
         # so repeated requests against the same fabric skip CGRA/MRRG
         # reconstruction entirely (results are unaffected -- see the
-        # Engine protocol's warm-state rule)
+        # Engine protocol's warm-state rule). In process mode the worker
+        # thread owns one persistent child process (whose own fabric
+        # cache plays the same role) and supervises it across jobs.
         fabric_cache: Dict[str, CGRA] = {}
+        worker: Optional[procpool.ProcessWorker] = None
         while not self._stop.is_set():
+            if self._draining.is_set():
+                # draining: leave queued jobs for the journal
+                time.sleep(0.05)
+                continue
             try:
                 _, _, job_id = self._queue.get(timeout=0.1)
             except queue.Empty:
@@ -615,7 +721,18 @@ class MappingService:
                     self.counters["cancelled"] += 1
                 self._finish(job, JOB_CANCELLED)
                 continue
-            self._run_job(job, index, fabric_cache)
+            if job.terminal:
+                continue  # journaled by a drain while still queued
+            if self.execution == "process" and not self._degraded:
+                if worker is None:
+                    worker = procpool.ProcessWorker(
+                        index,
+                        heartbeat_timeout=self.heartbeat_timeout_seconds)
+                self._run_job(job, index, fabric_cache, worker=worker)
+            else:
+                self._run_job(job, index, fabric_cache)
+        if worker is not None:
+            worker.stop()
 
     def _export_trace(self, job: Job) -> None:
         """Write the job's merged span slice as Chrome trace JSON."""
@@ -631,7 +748,8 @@ class MappingService:
         logjson.log("trace_export", job=job.id, path=path, spans=count)
 
     def _run_job(self, job: Job, worker_index: int,
-                 fabric_cache: Dict[str, CGRA]) -> None:
+                 fabric_cache: Dict[str, CGRA],
+                 worker: Optional[procpool.ProcessWorker] = None) -> None:
         tracing = self.trace_dir is not None
         if tracing:
             # every span this worker thread opens while the job runs --
@@ -639,16 +757,186 @@ class MappingService:
             obs_trace.push_trace(job.id)
         try:
             with obs_trace.span("worker.run", job=job.id,
-                                worker=worker_index):
-                self._run_job_impl(job, worker_index, fabric_cache)
+                                worker=worker_index) as run_span:
+                if worker is not None:
+                    self._run_job_process(
+                        job, worker_index, worker, fabric_cache,
+                        parent_span_id=getattr(run_span, "span_id", 0))
+                else:
+                    self._run_job_impl(job, worker_index, fabric_cache)
         finally:
             if tracing:
                 obs_trace.pop_trace()
                 self._export_trace(job)
 
+    # ------------------------------------------------------------------ #
+    # Process execution: supervision, retries, demotion, degradation
+    # ------------------------------------------------------------------ #
+    def _enter_degraded(self, reason: str) -> None:
+        """Mark the process pool unhealthy; jobs fall back in-thread."""
+        if self._degraded:
+            return
+        self._degraded = True
+        metrics.set_gauge("repro_service_degraded", 1)
+        logjson.log("service_degraded", reason=reason)
+
+    def _handle_crash(self, job: Job, crash: "procpool.WorkerCrash",
+                      attempt: int) -> bool:
+        """Account a worker death; True if the job should be retried."""
+        metrics.inc("repro_worker_crashes_total", reason=crash.reason)
+        with self._lock:
+            self.counters["worker_crashes"] += 1
+        job.crashes += 1
+        self._append_event(job, {
+            "event": "worker_crashed",
+            "reason": crash.reason,
+            "attempt": attempt,
+            "exit": crash.describe(),
+            "detail": crash.detail,
+        })
+        logjson.log("worker_crash", job=job.id, reason=crash.reason,
+                    attempt=attempt, exit=crash.describe(),
+                    detail=crash.detail)
+        if crash.reason == "hard_timeout":
+            # the engine's own budget enforcement failed; a retry would
+            # burn another full budget the same way
+            with self._lock:
+                self.counters["failed"] += 1
+            self._finish(job, JOB_FAILED,
+                         error=f"worker exceeded hard deadline: "
+                               f"{crash.detail}")
+            return False
+        backend = job.effective_backend
+        if backend in DEMOTION_LADDER and job.crashes >= DEMOTE_AFTER_CRASHES:
+            demoted = DEMOTION_LADDER[backend]
+            job.effective_backend = None if demoted == "arena" else demoted
+            job.crashes = 0  # the new tier gets a fresh crash budget
+            metrics.inc("repro_backend_demotions_total")
+            with self._lock:
+                self.counters["demotions"] += 1
+            self._append_event(job, {"event": "backend_demoted",
+                                     "from": backend, "to": demoted})
+            logjson.log("backend_demoted", job=job.id,
+                        from_backend=backend, to_backend=demoted)
+        if job.attempts > self.max_retries:
+            with self._lock:
+                self.counters["failed"] += 1
+            self._finish(job, JOB_FAILED,
+                         error=f"worker crashed ({crash.reason}) on all "
+                               f"{job.attempts} attempt(s)")
+            return False
+        with self._lock:
+            self.counters["retries"] += 1
+        metrics.inc("repro_job_retries_total", reason=crash.reason)
+        backoff = min(RETRY_BACKOFF_BASE_SECONDS * (2 ** (job.attempts - 1)),
+                      RETRY_BACKOFF_CAP_SECONDS)
+        self._append_event(job, {"event": "retrying",
+                                 "attempt": job.attempts,
+                                 "backoff_seconds": round(backoff, 3)})
+        if self._stop.wait(timeout=backoff):
+            with self._lock:
+                self.counters["failed"] += 1
+            self._finish(job, JOB_FAILED,
+                         error="service stopped during retry backoff")
+            return False
+        return True
+
+    def _run_job_process(self, job: Job, worker_index: int,
+                         worker: "procpool.ProcessWorker",
+                         fabric_cache: Dict[str, CGRA],
+                         parent_span_id: int = 0) -> None:
+        """Run ``job`` in the supervised worker process, with retries."""
+        request = job.request
+        with job.cond:
+            job.status = JOB_RUNNING
+            job.started = self._now()
+        wait = max(job.started - job.created, 0.0)
+        obs_trace.add_complete("queue.wait", time.monotonic() - wait, wait,
+                               parent=0, job=job.id)
+        traced = self.trace_dir is not None
+
+        def on_event(payload: Dict[str, object]) -> None:
+            if payload.get("event") == "started" \
+                    and payload.get("warm_fabric"):
+                with self._lock:
+                    self.counters["fabric_cache_hits"] += 1
+                metrics.inc("repro_service_fabric_cache_hits_total")
+            self._append_event(job, payload)
+
+        while True:
+            try:
+                state = worker.ensure()
+            except procpool.WorkerStartError as exc:
+                # the pool itself is unhealthy: degrade to the in-thread
+                # path for this and every following job
+                self._enter_degraded(repr(exc))
+                self._append_event(job, {"event": "degraded",
+                                         "fallback": "thread"})
+                self._run_job_impl(job, worker_index, fabric_cache)
+                return
+            if state == "restarted":
+                metrics.inc("repro_worker_restarts_total")
+                with self._lock:
+                    self.counters["worker_restarts"] += 1
+            attempt = job.attempts
+            job.attempts += 1
+            spec = {
+                "job": job.id,
+                "worker": worker_index,
+                "attempt": attempt,
+                "payload": job.payload,
+                "default_budget_seconds": self.default_budget_seconds,
+                "max_budget_seconds": self.max_budget_seconds,
+                "solver_backend": job.effective_backend,
+                "seed": request.seed,
+                "budget_seconds": request.budget_seconds,
+                "traced": traced,
+            }
+            try:
+                record, snap = worker.run(
+                    spec,
+                    on_event=on_event,
+                    deadline_seconds=(request.budget_seconds
+                                      + self.hard_deadline_grace_seconds),
+                    cancelled=lambda: job.cancel_requested,
+                )
+            except procpool.WorkerCancelled:
+                with self._lock:
+                    self.counters["cancelled"] += 1
+                self._finish(job, JOB_CANCELLED)
+                return
+            except procpool.WorkerJobError as exc:
+                # the engine raised on a healthy worker: a deterministic
+                # job failure, not a fault -- no retry
+                with self._lock:
+                    self.counters["failed"] += 1
+                self._finish(job, JOB_FAILED, error=str(exc))
+                return
+            except procpool.WorkerCrash as crash:
+                if not self._handle_crash(job, crash, attempt):
+                    return
+                continue
+            if traced:
+                obs_trace.ingest(snap, parent_span_id=parent_span_id,
+                                 trace=job.id)
+            with self._lock:
+                self.counters["engine_runs"] += 1
+            # only the surviving attempt's improvements belong to the
+            # result (a crashed attempt may have streamed a few first)
+            starts = [i for i, e in enumerate(job.events)
+                      if e.get("event") == "started"]
+            tail = job.events[starts[-1]:] if starts else job.events
+            record = dict(record, events=[
+                dict(e) for e in tail if e.get("event") == "improvement"])
+            if record["status"] in CACHEABLE_STATUSES:
+                self._store_put(job.key, request, record)
+            self._finish(job, JOB_DONE, result=record)
+            return
+
     def _run_job_impl(self, job: Job, worker_index: int,
                       fabric_cache: Dict[str, CGRA]) -> None:
         request = job.request
+        job.attempts += 1
         with job.cond:
             job.status = JOB_RUNNING
             job.started = self._now()
@@ -750,15 +1038,172 @@ class MappingService:
             by_status: Dict[str, int] = {}
             for job in self.jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
+        status = "ok"
+        if self._degraded:
+            status = "degraded"
+        elif self._draining.is_set():
+            status = "draining"
         return {
-            "status": "ok",
+            "status": status,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "workers": len(self._workers),
+            "execution": self.execution,
+            "degraded": self._degraded,
+            "draining": self._draining.is_set(),
             "queued": self._queue.qsize(),
             "jobs": by_status,
             "counters": counters,
             "store": self.store.stats() if self.store is not None else None,
         }
+
+    # ------------------------------------------------------------------ #
+    # Drain / journal / recover
+    # ------------------------------------------------------------------ #
+    def journal_path(self) -> Optional[str]:
+        """Where drained-but-queued payloads are checkpointed.
+
+        Next to the store: ``<root>/journal.jsonl`` for the sharded
+        layout (the loader only reads ``shards/*.jsonl``, so the journal
+        never pollutes the index), ``<path>.journal`` for the flat one.
+        ``None`` without a store -- there is nowhere durable to put it.
+        """
+        if self.store is None:
+            return None
+        if self.store._sharded:
+            return os.path.join(self.store.path, "journal.jsonl")
+        return self.store.path + ".journal"
+
+    def begin_drain(self) -> None:
+        """Stop accepting submissions and stop dispatching queued jobs."""
+        if not self._draining.is_set():
+            logjson.log("drain_begin")
+        self._draining.set()
+
+    def drain(self, timeout: float = 30.0) -> Dict[str, object]:
+        """Drain for shutdown: finish in-flight work, journal the queue.
+
+        Blocks up to ``timeout`` seconds for running jobs to finish (the
+        HTTP layer keeps answering, rejecting submissions with 503), then
+        checkpoints every still-queued job to :meth:`journal_path` and
+        marks it ``journaled``. Returns a summary; ``running`` lists
+        jobs that outlived the timeout and will die with the process.
+        """
+        self.begin_drain()
+        # a worker that popped a job in the instant before the flag went
+        # up is about to mark it running; give it a beat so the job is
+        # either in-flight (waited for) or still queued (journaled)
+        time.sleep(0.25)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = any(job.status == JOB_RUNNING
+                           for job in self.jobs.values())
+            if not busy:
+                break
+            time.sleep(0.05)
+        journaled = self._journal_queued()
+        with self._lock:
+            running = [job.id for job in self.jobs.values()
+                       if job.status == JOB_RUNNING]
+        summary = {"journaled": journaled, "running": running}
+        logjson.log("drain_done", **summary)
+        return summary
+
+    def _journal_queued(self) -> int:
+        """Checkpoint every still-queued job; returns how many."""
+        drained: List[Job] = []
+        while True:
+            try:
+                _, _, job_id = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            job = self.jobs[job_id]
+            if job.status == JOB_QUEUED and not job.terminal:
+                drained.append(job)
+        metrics.set_gauge("repro_service_queue_depth", 0)
+        path = self.journal_path()
+        if path is None:
+            # no store, no journal: queued work cannot survive; cancel
+            # it honestly rather than silently dropping it
+            for job in drained:
+                with self._lock:
+                    self.counters["cancelled"] += 1
+                self._finish(job, JOB_CANCELLED)
+            return 0
+        if not drained:
+            return 0
+        entries: List[Dict[str, object]] = []
+        if os.path.exists(path):
+            # merge a previous drain's journal instead of overwriting it
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entries.append(json.loads(line))
+                    except ValueError:
+                        continue
+        for job in drained:
+            entries.append({
+                "id": job.id,
+                "payload": job.payload,
+                "priority": job.request.priority,
+                "journaled_at": round(self._now(), 3),
+            })
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        for job in drained:
+            with self._lock:
+                self.counters["journaled"] += 1
+            metrics.inc("repro_journal_jobs_total", op="journaled")
+            self._finish(job, JOB_JOURNALED)
+        return len(drained)
+
+    def recover_journal(self) -> int:
+        """Resubmit a previous drain's journaled payloads; returns count.
+
+        Called once at startup (``repro-serve start``). The journal file
+        is removed only after every entry has been resubmitted, so a
+        crash mid-recovery re-runs entries rather than losing them (the
+        content-addressed store absorbs the duplicates).
+        """
+        path = self.journal_path()
+        if path is None or not os.path.exists(path):
+            return 0
+        entries: List[Dict[str, object]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue
+        recovered = 0
+        for entry in entries:
+            payload = entry.get("payload")
+            if not isinstance(payload, dict):
+                continue
+            try:
+                self.submit(payload)
+            except (RequestError, ServiceUnavailable) as exc:
+                logjson.log("journal_skip", entry=entry.get("id"),
+                            error=repr(exc))
+                continue
+            recovered += 1
+            metrics.inc("repro_journal_jobs_total", op="recovered")
+        with self._lock:
+            self.counters["recovered"] += recovered
+        os.remove(path)
+        logjson.log("journal_recovered", path=path, jobs=recovered)
+        return recovered
 
     def shutdown(self, timeout: float = 5.0) -> None:
         self._stop.set()

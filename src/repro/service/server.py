@@ -21,7 +21,9 @@ Routes::
 
 Errors are always ``{"error": {"code": ..., "message": ...}}`` with the
 matching HTTP status (400 ``bad_request``, 404 ``not_found``,
-405 ``method_not_allowed``, 500 ``internal``).
+405 ``method_not_allowed``, 500 ``internal``, and -- while the daemon is
+draining for shutdown -- 503 ``draining`` with a ``Retry-After`` header
+on submissions).
 """
 
 from __future__ import annotations
@@ -32,7 +34,11 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs import logjson, metrics
-from repro.service.jobs import MappingService, RequestError
+from repro.service.jobs import (
+    MappingService,
+    RequestError,
+    ServiceUnavailable,
+)
 
 #: bound on accepted request bodies; a kernel or DFG payload is small,
 #: anything bigger is a mistake or abuse
@@ -79,11 +85,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   extra_headers: Optional[Dict[str, object]] = None) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -148,6 +157,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             stats = service.store.stats()
             metrics.set_gauge("repro_store_records", stats["records"])
             metrics.set_gauge("repro_store_shards", stats["files"])
+            metrics.set_gauge("repro_store_size_bytes", stats["size_bytes"])
         body = metrics.render().encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type",
@@ -210,6 +220,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"job": job.view()})
             else:
                 self._send_json(202, {"job": job.view(include_result=False)})
+        except ServiceUnavailable as exc:
+            # draining for shutdown: tell well-behaved clients when to
+            # come back (the client's submit retry honors Retry-After)
+            self._send_json(
+                503,
+                {"error": {"code": "draining", "message": str(exc)}},
+                extra_headers={"Retry-After": exc.retry_after})
         except RequestError as exc:
             self._send_error_json(400, "bad_request", str(exc))
         except Exception as exc:  # pragma: no cover - defensive

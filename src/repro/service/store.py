@@ -189,12 +189,20 @@ class ResultStore:
     def stats(self) -> Dict[str, object]:
         """Size/layout summary (the service's ``/v1/store/stats``)."""
         index = self._load()
-        shards = sum(1 for _ in self._iter_files())
+        shards = 0
+        size_bytes = 0
+        for path in self._iter_files():
+            shards += 1
+            try:
+                size_bytes += os.path.getsize(path)
+            except OSError:  # pragma: no cover - raced with compaction
+                pass
         return {
             "path": self.path,
             "layout": "sharded" if self._sharded else "jsonl",
             "records": len(index),
             "files": shards,
+            "size_bytes": size_bytes,
             "appends_this_session": self._appends,
             "skipped_lines": self._skipped_lines,
             "header_lines": self._header_lines,
@@ -207,8 +215,21 @@ class ResultStore:
     def _append_line(self, path: str, text: str) -> None:
         # one write() call per line: concurrent appenders (batch workers,
         # service workers) interleave whole records, never fragments
+        from repro.service import faults
+
+        line = text + "\n"
+        cut = faults.torn_write_cut(len(line))
         with open(path, "a", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+            if cut is not None:
+                # injected torn write: the line stops mid-record, exactly
+                # what a crash between write() and close() leaves behind
+                handle.write(line[:cut])
+                handle.flush()
+                os.fsync(handle.fileno())
+                logjson.log("fault_torn_write", path=path, cut=cut,
+                            length=len(line))
+                return
+            handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -245,3 +266,82 @@ class ResultStore:
         self._append_line(target, json.dumps(line_record, sort_keys=True))
         self._appends += 1
         self._load()[key] = line_record
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def compact(self) -> Dict[str, object]:
+        """Rewrite the store's files, dropping dead lines.
+
+        Dropped: torn/unparseable lines, keyless non-header records, and
+        superseded duplicates (several appends under one key; the last
+        occurrence wins, matching the loader). Every surviving record and
+        header line is preserved **byte-identically** -- the original
+        line text is carried over, never re-serialized. Each file is
+        rewritten to a temp file and atomically renamed into place (files
+        left with nothing live are removed); a file that is already clean
+        is not touched at all.
+        """
+        if not self.writable:
+            raise PermissionError(
+                f"result store {self.path!r} was opened read-only")
+        files = 0
+        rewritten = 0
+        removed_files = 0
+        dropped_lines = 0
+        records = 0
+        for path in list(self._iter_files()):
+            files += 1
+            with open(path, "r", encoding="utf-8") as handle:
+                raw_lines = handle.read().splitlines()
+            last_for_key: Dict[str, int] = {}
+            kinds: list = []  # ("record", key) | ("header",) | ("drop",)
+            for index, line in enumerate(raw_lines):
+                stripped = line.strip()
+                kind = ("drop",)
+                if stripped:
+                    try:
+                        parsed = json.loads(stripped)
+                    except ValueError:
+                        parsed = None
+                    if isinstance(parsed, dict):
+                        key = parsed.get("key")
+                        if isinstance(key, str):
+                            kind = ("record", key)
+                            last_for_key[key] = index
+                        elif "header" in parsed:
+                            kind = ("header",)
+                kinds.append(kind)
+            keep = []
+            for index, kind in enumerate(kinds):
+                if kind[0] == "header" or (
+                        kind[0] == "record"
+                        and last_for_key[kind[1]] == index):
+                    keep.append(raw_lines[index])
+                else:
+                    dropped_lines += 1
+            records += len(last_for_key)
+            if len(keep) == len(raw_lines):
+                continue  # already clean; leave the file untouched
+            if not keep:
+                os.remove(path)
+                removed_files += 1
+                continue
+            tmp = path + ".compact.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(keep) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            rewritten += 1
+        self._index = None  # force a reload; skipped-line counters reset
+        summary = {
+            "path": self.path,
+            "files": files,
+            "rewritten": rewritten,
+            "removed_files": removed_files,
+            "dropped_lines": dropped_lines,
+            "records": records,
+        }
+        logjson.log("store_compact", **summary)
+        return summary
