@@ -35,12 +35,16 @@ that changes answers is a bug, not overhead.
 
 import gc
 import pathlib
+import signal
 import time
+
+import pytest
 
 from repro.arch.cgra import CGRA
 from repro.baseline.satmapit import SatMapItMapper
 from repro.core.config import BaselineConfig
 from repro.obs import hooks as obs_hooks
+from repro.obs import profiler as obs_profiler
 from repro.obs import trace as obs_trace
 from repro.perf.history import update_artifact
 from repro.workloads.suite import load_benchmark
@@ -55,6 +59,8 @@ SIDE = 8
 
 #: asserted ceiling on instrumentation_seconds / run_seconds
 OVERHEAD_THRESHOLD = 0.03
+#: asserted ceiling on the continuous sampling profiler's overhead
+PROFILER_OVERHEAD_THRESHOLD = 0.01
 #: best-of runs for the end-to-end legs
 RUNS = 3
 #: tight-loop sizing for the per-call cost measurements
@@ -234,4 +240,94 @@ def test_instrumentation_overhead_disabled(bench_timeout):
     assert overhead <= OVERHEAD_THRESHOLD, (
         f"tracing-disabled instrumentation costs {overhead * 100:.2f}% "
         f"(threshold {OVERHEAD_THRESHOLD * 100:.0f}%)"
+    )
+
+
+def test_sampling_profiler_overhead(bench_timeout):
+    """The continuous sampling profiler costs <= 1% of mapping time.
+
+    Same exact-count methodology as the instrumentation leg: a
+    wall-clock diff of profiler-on vs profiler-off runs would measure
+    scheduler noise, so the overhead is computed as ``samples taken
+    during a real profiled run x measured per-sample handler cost /
+    run seconds``. SIGPROF fires on *CPU* time, so the sample count of
+    a run is itself stable.
+    """
+    if not hasattr(signal, "setitimer"):  # pragma: no cover - non-POSIX
+        pytest.skip("sampling profiler needs setitimer/SIGPROF")
+    timeout = max(bench_timeout, 60.0)
+
+    # per-sample cost of one handler invocation (walks every thread's
+    # stack and folds it), resolved in a tight loop; the folded key is
+    # identical each call so the aggregate dict stays tiny
+    obs_profiler.reset()
+    handler_cost = _per_call_seconds(
+        lambda: obs_profiler._handler(signal.SIGPROF, None))
+    obs_profiler.reset()
+
+    records = []
+    total_samples = 0
+    total_run = 0.0
+    for name in BENCHMARKS:
+        dfg = load_benchmark(name)
+        reference, _ = _run_map(dfg, timeout)
+
+        best = None
+        samples = 0
+        for _ in range(RUNS):
+            gc.collect()
+            obs_profiler.reset()
+            assert obs_profiler.start()
+            try:
+                result, seconds = _run_map(dfg, timeout)
+            finally:
+                obs_profiler.stop()
+            run_samples = sum(obs_profiler.local_counts().values())
+            assert result.status == reference.status, name
+            assert result.ii == reference.ii, name
+            if best is None or seconds < best:
+                best, samples = seconds, run_samples
+        # the profile must attribute real work, not just exist
+        assert samples > 0, f"{name}: no samples in a {best:.3f}s run"
+        overhead = samples * handler_cost / best
+        total_samples += samples
+        total_run += best
+        records.append({
+            "benchmark": name,
+            "cgra": f"{SIDE}x{SIDE}",
+            "samples": samples,
+            "run_seconds": round(best, 6),
+            "profiler_overhead": round(overhead, 6),
+        })
+        print(f"\n{name}: {samples} samples in {best:.3f}s "
+              f"({overhead * 100:.4f}% overhead at "
+              f"{handler_cost * 1e6:.1f}us/sample)")
+    overhead = total_samples * handler_cost / total_run
+    obs_profiler.reset()
+    update_artifact(ARTIFACT_PATH, {
+        "profiler_overhead": {
+            "workload": ("solver-bench small set, full coupled map() per "
+                         "benchmark on an 8x8 torus, sampling profiler "
+                         "running"),
+            "benchmarks": BENCHMARKS,
+            "threshold": PROFILER_OVERHEAD_THRESHOLD,
+            "interval_seconds": obs_profiler.DEFAULT_INTERVAL_SECONDS,
+            "per_sample_seconds": round(handler_cost, 9),
+            "samples": total_samples,
+            "run_seconds": round(total_run, 6),
+            "profiler_overhead": round(overhead, 6),
+            "records": records,
+        },
+    }, {
+        "label": "profiler-overhead",
+        "benchmarks": BENCHMARKS,
+        "profiler_overhead": round(overhead, 6),
+        "threshold": PROFILER_OVERHEAD_THRESHOLD,
+    })
+    print(f"\ntotal: {total_samples} samples x "
+          f"{handler_cost * 1e6:.1f}us over {total_run:.3f}s of mapping "
+          f"({overhead * 100:.4f}%); artifact written to {ARTIFACT_PATH}")
+    assert overhead <= PROFILER_OVERHEAD_THRESHOLD, (
+        f"sampling profiler costs {overhead * 100:.2f}% "
+        f"(threshold {PROFILER_OVERHEAD_THRESHOLD * 100:.0f}%)"
     )

@@ -173,29 +173,41 @@ def _cmd_map_remote(args: argparse.Namespace) -> int:
               "--json and simulate it locally", file=sys.stderr)
         return 2
     client = ServiceClient(args.remote)
+    # Mint the distributed trace context up front: the client span below
+    # and everything the daemon records for this job (spans, NDJSON
+    # events, run-log records) share this one trace id -- submit() sends
+    # it as the `traceparent` header.
+    trace_id = obs_trace.current_trace_id() or obs_trace.new_trace_id()
+    obs_trace.push_trace("client", trace_id)
     try:
-        job = client.submit(_remote_payload(args))
-        job_id = job["id"]
-        print(f"submitted {job_id} to {args.remote} "
-              f"(cache: {job.get('cache', 'miss')})")
-        if job["status"] not in ("done", "failed", "cancelled"):
-            # follow the anytime stream; improvements print as they land,
-            # stamped with the server's monotonic-anchored event `ts`
-            first_ts = None
-            for event in client.events(job_id):
-                ts = event.get("ts")
-                if first_ts is None and ts is not None:
-                    first_ts = ts
-                offset = (f" [+{ts - first_ts:.3f}s]"
-                          if ts is not None and first_ts is not None else "")
-                if event["event"] == "improvement":
-                    print(f"  improvement: II={event['ii']} "
-                          f"(mII {event['mii']}) at {event['elapsed']:.3f}s"
-                          + offset)
-        job = client.job(job_id)
+        with obs_trace.span("client.map", remote=args.remote):
+            job = client.submit(_remote_payload(args))
+            job_id = job["id"]
+            print(f"submitted {job_id} to {args.remote} "
+                  f"(cache: {job.get('cache', 'miss')}, "
+                  f"trace {job.get('trace_id', trace_id)})")
+            if job["status"] not in ("done", "failed", "cancelled"):
+                # follow the anytime stream; improvements print as they
+                # land, stamped with the server's monotonic-anchored `ts`
+                first_ts = None
+                with obs_trace.span("client.stream", job=job_id):
+                    for event in client.events(job_id):
+                        ts = event.get("ts")
+                        if first_ts is None and ts is not None:
+                            first_ts = ts
+                        offset = (f" [+{ts - first_ts:.3f}s]"
+                                  if ts is not None and first_ts is not None
+                                  else "")
+                        if event["event"] == "improvement":
+                            print(f"  improvement: II={event['ii']} "
+                                  f"(mII {event['mii']}) at "
+                                  f"{event['elapsed']:.3f}s" + offset)
+            job = client.job(job_id)
     except (ServiceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        obs_trace.pop_trace()
     if job["status"] != "done":
         print(f"job {job['id']}: {job['status']}"
               + (f" ({job['error']})" if job.get("error") else ""))
@@ -339,6 +351,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for name in args.benchmarks:
         if name not in ("running_example", "example"):
             spec(name)  # fail early on typos
+    sampling = False
+    if args.sample:
+        from repro.obs import profiler
+        profiler.reset()
+        sampling = profiler.start()
+        if not sampling:
+            print("note: --sample unavailable on this platform "
+                  "(needs SIGPROF); per-phase timings only",
+                  file=sys.stderr)
     records = profile_benchmarks(
         args.benchmarks,
         size=args.cgra,
@@ -354,6 +375,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                                  size=args.cgra,
                                  solver_backend=args.solver_backend)
     print(table.render())
+    if sampling:
+        from repro.obs import profiler
+        profiler.stop()
+        folded = profiler.render()
+        total = sum(profiler.cumulative().values())
+        print(f"\nsampling profile: {total} sample(s), "
+              f"{profiler.interval() * 1000:.0f}ms CPU-time interval "
+              f"(collapsed stacks, busiest first):")
+        print(folded if folded else "  (no samples -- run too short)")
     text = json.dumps(records, indent=2)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -603,6 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--json", default=None,
                                 help="write the records to a JSON file "
                                      "(default: print to stdout)")
+    profile_parser.add_argument("--sample", action="store_true",
+                                help="also run the signal-based sampling "
+                                     "profiler and print collapsed stacks "
+                                     "(flame-graph input; POSIX only, see "
+                                     "docs/observability.md)")
     profile_parser.set_defaults(handler=_cmd_profile)
 
     sweep_parser = subparsers.add_parser(

@@ -1,21 +1,25 @@
-"""``repro.obs`` -- tracing, metrics, and structured logging.
+"""``repro.obs`` -- tracing, metrics, logging, and profiling.
 
-Three stdlib-only pillars, each independently opt-in:
+Four stdlib-only pillars, each independently opt-in:
 
 * :mod:`repro.obs.trace` -- context-manager spans over monotonic clocks,
-  merged across process boundaries, exported as Chrome trace-event JSON
-  (``repro-map map --trace out.json``, viewable in Perfetto).
+  merged across process boundaries, stamped with a W3C-style distributed
+  ``trace_id``, exported as Chrome trace-event JSON (``repro-map map
+  --trace out.json``, viewable in Perfetto).
 * :mod:`repro.obs.metrics` -- a process-global counter/gauge/histogram
   registry rendered as Prometheus text (``GET /metrics`` on the daemon,
   ``repro-map map --metrics`` locally).
 * :mod:`repro.obs.logjson` -- an opt-in JSONL run log
   (``REPRO_LOG_JSON=path`` / ``--log-json path``), one record per
   request/job/engine attempt.
+* :mod:`repro.obs.profiler` -- a ``SIGPROF`` sampling profiler producing
+  collapsed-stack flame-graph text (``GET /v1/debug/profile`` on the
+  daemon, ``repro-map profile --sample`` locally).
 
 See docs/observability.md for the span taxonomy, metric inventory, and
 log-record schema.
 """
 
-from repro.obs import logjson, metrics, trace
+from repro.obs import logjson, metrics, profiler, trace
 
-__all__ = ["trace", "metrics", "logjson"]
+__all__ = ["trace", "metrics", "logjson", "profiler"]

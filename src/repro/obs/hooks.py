@@ -95,5 +95,6 @@ def finish_engine_run(
         total_seconds=round(result.total_seconds, 6),
         tier=stats.get("solver_tier"),
         trace=trace.current_trace() or None,
+        trace_id=trace.current_trace_id() or None,
         elapsed=round(time.monotonic() - started, 6),
     )

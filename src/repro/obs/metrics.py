@@ -26,6 +26,8 @@ __all__ = [
     "describe",
     "render",
     "snapshot",
+    "dump",
+    "merge_dump",
     "reset",
 ]
 
@@ -178,6 +180,45 @@ def render() -> str:
     return "\n".join(lines) + "\n"
 
 
+def dump() -> Dict[str, object]:
+    """Raw, picklable registry state for cross-process aggregation.
+
+    Worker children call this at the end of a job (after a job-start
+    :func:`reset`, so it is a per-job delta) and ship it over the result
+    pipe; the parent folds it in with :func:`merge_dump`, making the
+    daemon's ``/metrics`` reflect engine-side series (latency
+    histograms, engine counters) that are otherwise trapped in the
+    child's registry. Gauges are process-local and excluded.
+    """
+    with _lock:
+        return {
+            "counters": dict(_counters),
+            "hist_sum": dict(_hist_sum),
+            "hist_count": dict(_hist_count),
+            "hist_buckets": {k: list(v) for k, v in _hist_buckets.items()},
+        }
+
+
+def merge_dump(data: Optional[Dict[str, object]]) -> None:
+    """Fold another process's :func:`dump` into this registry."""
+    if not data:
+        return
+    with _lock:
+        for key, value in (data.get("counters") or {}).items():
+            _counters[key] = _counters.get(key, 0.0) + float(value)
+        for key, value in (data.get("hist_sum") or {}).items():
+            _hist_sum[key] = _hist_sum.get(key, 0.0) + float(value)
+        for key, value in (data.get("hist_count") or {}).items():
+            _hist_count[key] = _hist_count.get(key, 0) + int(value)
+        for key, buckets in (data.get("hist_buckets") or {}).items():
+            mine = _hist_buckets.get(key)
+            if mine is None:
+                _hist_buckets[key] = list(buckets)
+            else:
+                for index in range(min(len(mine), len(buckets))):
+                    mine[index] += buckets[index]
+
+
 def snapshot() -> Dict[str, Dict[str, float]]:
     """Plain-dict view: ``{metric: {label_string_or "": value}}``.
 
@@ -245,3 +286,7 @@ describe("repro_store_size_bytes", "gauge",
          "Total bytes held by the result store's files.")
 describe("repro_journal_jobs_total", "counter",
          "Queued jobs checkpointed to / recovered from the drain journal.")
+describe("repro_trace_dropped_spans_total", "counter",
+         "Trace events evicted (drop-oldest) by the bounded span buffer.")
+describe("repro_profile_samples_total", "counter",
+         "Sampling-profiler stack samples aggregated by the daemon.")

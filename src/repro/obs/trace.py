@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "enable",
@@ -48,7 +49,11 @@ __all__ = [
     "push_trace",
     "pop_trace",
     "current_trace",
+    "current_trace_id",
     "current_span_id",
+    "new_trace_id",
+    "format_traceparent",
+    "parse_traceparent",
     "snapshot",
     "ingest",
     "events",
@@ -108,11 +113,50 @@ def _stack() -> List[int]:
     return stack
 
 
-def _labels() -> List[str]:
+def _labels() -> List[Tuple[str, str]]:
+    """Per-thread stack of ``(trace label, trace_id)`` frames."""
     labels = getattr(_tls, "labels", None)
     if labels is None:
         labels = _tls.labels = []
     return labels
+
+
+# ---------------------------------------------------------------------- #
+# W3C-style trace context
+# ---------------------------------------------------------------------- #
+_TRACEPARENT_RE = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 32-hex (128-bit) trace id."""
+    return os.urandom(16).hex()
+
+
+def format_traceparent(trace_id: str, span_id: int = 0) -> str:
+    """Render a ``traceparent`` header value (``00-<trace>-<span>-01``).
+
+    ``span_id`` is the in-process integer span id of the caller's
+    currently-open span; it becomes the 16-hex ``parent-id`` field.
+    """
+    return "00-%s-%016x-01" % (trace_id, span_id & 0xFFFFFFFFFFFFFFFF)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[Tuple[str, int]]:
+    """Parse a ``traceparent`` header into ``(trace_id, parent_span_id)``.
+
+    Returns ``None`` for a missing/malformed header or the all-zero
+    trace id -- callers then mint a fresh context instead of failing
+    the request over a bad correlation hint.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if not match:
+        return None
+    trace_id, span_hex = match.groups()
+    if trace_id == "0" * 32:
+        return None
+    return trace_id, int(span_hex, 16)
 
 
 def enabled() -> bool:
@@ -157,15 +201,27 @@ def _record(event: Dict[str, Any]) -> None:
     global _dropped
     with _lock:
         if len(_events) >= MAX_EVENTS:
-            _dropped += 1
-            return
+            # drop-oldest, in chunks of ~1% of the cap so sustained
+            # overflow costs one list memmove per chunk, not per event
+            evicted = min(len(_events), max(1, MAX_EVENTS // 100))
+            del _events[:evicted]
+            _dropped += evicted
+        else:
+            evicted = 0
         _events.append(event)
+    if evicted:
+        # Drop-oldest eviction used to be silent; the counter makes
+        # buffer-full a visible signal (repro-serve status surfaces it).
+        from . import metrics as _metrics
+
+        _metrics.inc("repro_trace_dropped_spans_total", float(evicted))
 
 
 class _Span:
     """A live span; records a complete event on ``__exit__``."""
 
-    __slots__ = ("name", "args", "span_id", "parent_id", "trace", "tid", "start")
+    __slots__ = ("name", "args", "span_id", "parent_id", "trace", "trace_id",
+                 "tid", "start")
 
     def __init__(self, name: str, args: Optional[Dict[str, Any]]) -> None:
         global _next_span_id
@@ -177,7 +233,7 @@ class _Span:
         stack = _stack()
         self.parent_id = stack[-1] if stack else 0
         labels = _labels()
-        self.trace = labels[-1] if labels else ""
+        self.trace, self.trace_id = labels[-1] if labels else ("", "")
         self.tid = threading.get_ident()
         self.start = 0.0
 
@@ -202,6 +258,8 @@ class _Span:
         }
         if self.trace:
             event["trace"] = self.trace
+        if self.trace_id:
+            event["trace_id"] = self.trace_id
         if self.args:
             event["args"] = self.args
         _record(event)
@@ -252,7 +310,11 @@ def add_complete(
         "tid": threading.get_ident(),
     }
     if labels:
-        event["trace"] = labels[-1]
+        label, trace_id = labels[-1]
+        if label:
+            event["trace"] = label
+        if trace_id:
+            event["trace_id"] = trace_id
     if args:
         event["args"] = args
     _record(event)
@@ -273,15 +335,29 @@ def instant(name: str, **args: Any) -> None:
         "tid": threading.get_ident(),
     }
     if labels:
-        event["trace"] = labels[-1]
+        label, trace_id = labels[-1]
+        if label:
+            event["trace"] = label
+        if trace_id:
+            event["trace_id"] = trace_id
     if args:
         event["args"] = args
     _record(event)
 
 
-def push_trace(label: str) -> None:
-    """Tag subsequent spans on this thread with ``label`` (e.g. a job id)."""
-    _labels().append(label)
+def push_trace(label: str, trace_id: str = "") -> None:
+    """Tag subsequent spans on this thread with ``label`` (e.g. a job id).
+
+    ``trace_id`` attaches a distributed trace context: every span, instant
+    and synthesized event recorded under this frame carries it, and it
+    survives :func:`snapshot`/:func:`ingest` across process boundaries.
+    When omitted, the enclosing frame's trace id (if any) is inherited, so
+    nested job labels stay inside the request's trace.
+    """
+    labels = _labels()
+    if not trace_id and labels:
+        trace_id = labels[-1][1]
+    labels.append((label, trace_id))
 
 
 def pop_trace() -> None:
@@ -293,13 +369,25 @@ def pop_trace() -> None:
 def current_trace() -> str:
     """The active per-thread trace label, or ``""``."""
     labels = _labels()
-    return labels[-1] if labels else ""
+    return labels[-1][0] if labels else ""
+
+
+def current_trace_id() -> str:
+    """The active per-thread distributed trace id, or ``""``."""
+    labels = _labels()
+    return labels[-1][1] if labels else ""
 
 
 def current_span_id() -> int:
     """The innermost open span id on this thread, or ``0``."""
     stack = _stack()
     return stack[-1] if stack else 0
+
+
+def dropped() -> int:
+    """Events evicted from the bounded buffer since the last reset."""
+    with _lock:
+        return _dropped
 
 
 def snapshot(trace: Optional[str] = None, clear: bool = False) -> Dict[str, Any]:
@@ -329,14 +417,18 @@ def snapshot(trace: Optional[str] = None, clear: bool = False) -> Dict[str, Any]
 
 
 def ingest(snap: Optional[Dict[str, Any]], parent_span_id: int = 0,
-           trace: Optional[str] = None) -> int:
+           trace: Optional[str] = None,
+           trace_id: Optional[str] = None) -> int:
     """Merge a snapshot from another process into this buffer.
 
     Child timestamps are monotonic in the *child's* clock; shifting by
     the difference of wall-clock anchors places them on this process's
     monotonic timeline.  Root child events (parent 0) are re-parented
     under ``parent_span_id`` so the merged file nests child-process work
-    under the span that spawned it.  Returns the number of events merged.
+    under the span that spawned it.  ``trace``/``trace_id`` re-stamp the
+    merged events' label and distributed trace id (events that already
+    carry a trace id keep it unless overridden).  Returns the number of
+    events merged.
     """
     if not snap:
         return 0
@@ -360,6 +452,8 @@ def ingest(snap: Optional[Dict[str, Any]], parent_span_id: int = 0,
         shifted["parent"] = base + parent if parent else parent_span_id
         if trace is not None:
             shifted["trace"] = trace
+        if trace_id is not None:
+            shifted["trace_id"] = trace_id
         shifted["proc"] = int(snap.get("pid", 0)) or shifted.get("proc", 1)
         _record(shifted)
         merged += 1
@@ -392,6 +486,8 @@ def _iter_chrome(raw: List[Dict[str, Any]], pid: int) -> Iterator[Dict[str, Any]
         out["args"]["parent_id"] = event.get("parent", 0)
         if event.get("trace"):
             out["args"]["trace"] = event["trace"]
+        if event.get("trace_id"):
+            out["args"]["trace_id"] = event["trace_id"]
         yield out
 
 

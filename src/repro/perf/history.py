@@ -16,6 +16,15 @@ survives reruns:
 
 A missing or corrupt artifact simply starts a fresh history; reading the
 trajectory is documented in docs/performance.md.
+
+The history is also what the perf-regression sentinel reads:
+:func:`compare_history` walks each label's trajectory and flags the
+latest entry when a tracked metric moved the wrong way past a tolerance
+band -- ``speedup``-style metrics are higher-is-better, ``*overhead*``
+and ``*seconds*`` metrics are lower-is-better. A deliberate trade-off
+is recorded by marking the new entry ``"blessed": true``: the sentinel
+accepts it and it becomes the baseline the next commit is judged
+against. ``tools/check_bench.py`` is the CLI over this.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import datetime
 import json
 import pathlib
 import subprocess
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 def current_git_sha() -> Optional[str]:
@@ -90,3 +99,150 @@ def update_artifact(
     data["history"] = history
     path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
     return data
+
+
+# --------------------------------------------------------------------- #
+# Perf-regression sentinel: compare a label's latest history entry
+# against its previous one, per tracked metric.
+
+#: below this absolute value, lower-is-better metrics are considered
+#: noise and never flagged (an overhead going 0.00005 -> 0.0001 doubled
+#: relatively but is still negligible)
+OVERHEAD_NOISE_FLOOR = 1e-3
+
+#: entry keys that are never treated as metrics
+_NON_METRIC_KEYS = frozenset((
+    "label", "git_sha", "date", "blessed", "benchmarks", "backend_tier",
+    "threshold", "threshold_speedup", "target_speedup", "runs_per_leg",
+))
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` for tracked metrics, ``None`` otherwise.
+
+    ``speedup``-style metrics regress by going down; ``overhead`` and
+    wall-clock ``seconds`` metrics regress by going up. Anything else
+    in a history entry (counts, tiers, dates) is not compared.
+    """
+    if name in _NON_METRIC_KEYS or name.startswith("target"):
+        return None
+    if "speedup" in name:
+        return "higher"
+    if "overhead" in name or "seconds" in name:
+        return "lower"
+    return None
+
+
+def tracked_metrics(entry: Dict[str, object]) -> Dict[str, float]:
+    """The numeric, direction-tracked metrics of one history entry."""
+    metrics: Dict[str, float] = {}
+    for key, value in entry.items():
+        if metric_direction(key) is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metrics[key] = float(value)
+    return metrics
+
+
+def compare_entries(
+    previous: Dict[str, object],
+    latest: Dict[str, object],
+    tolerance: float = 0.10,
+    overhead_floor: float = OVERHEAD_NOISE_FLOOR,
+) -> List[Dict[str, object]]:
+    """Regression findings for one (previous, latest) entry pair.
+
+    A higher-is-better metric regresses when it drops below
+    ``previous * (1 - tolerance)``; a lower-is-better metric when it
+    rises above ``previous * (1 + tolerance)`` *and* exceeds
+    ``overhead_floor`` in absolute terms. A latest entry marked
+    ``"blessed": true`` is accepted wholesale (deliberate trade-off;
+    it resets the baseline). Each finding dict carries ``label``,
+    ``metric``, ``previous``, ``latest``, ``change`` (signed relative
+    move) and the two git SHAs.
+    """
+    if latest.get("blessed") is True:
+        return []
+    findings: List[Dict[str, object]] = []
+    before = tracked_metrics(previous)
+    after = tracked_metrics(latest)
+    for name in sorted(set(before) & set(after)):
+        old, new = before[name], after[name]
+        if old <= 0:
+            continue
+        change = (new - old) / old
+        direction = metric_direction(name)
+        regressed = (
+            new < old * (1.0 - tolerance)
+            if direction == "higher"
+            else new > old * (1.0 + tolerance) and new > overhead_floor
+        )
+        if regressed:
+            findings.append({
+                "label": latest.get("label"),
+                "metric": name,
+                "direction": direction,
+                "previous": old,
+                "latest": new,
+                "change": change,
+                "previous_sha": previous.get("git_sha"),
+                "latest_sha": latest.get("git_sha"),
+            })
+    return findings
+
+
+def compare_history(
+    history: List[Dict[str, object]],
+    tolerance: float = 0.10,
+    overhead_floor: float = OVERHEAD_NOISE_FLOOR,
+) -> Tuple[List[Dict[str, object]], int]:
+    """Sentinel pass over a full ``history`` list.
+
+    Groups entries by ``label`` (list order is chronological -- that is
+    :func:`update_artifact`'s append discipline), compares each label's
+    latest entry against the one before it, and returns
+    ``(findings, comparisons)`` where ``comparisons`` counts the metric
+    values actually checked (0 means every label has a single entry, so
+    there was nothing to judge -- not a failure).
+    """
+    by_label: Dict[str, List[Dict[str, object]]] = {}
+    for entry in history:
+        if not isinstance(entry, dict):
+            continue
+        label = entry.get("label")
+        if isinstance(label, str) and label:
+            by_label.setdefault(label, []).append(entry)
+    findings: List[Dict[str, object]] = []
+    comparisons = 0
+    for label in sorted(by_label):
+        entries = by_label[label]
+        if len(entries) < 2:
+            continue
+        previous, latest = entries[-2], entries[-1]
+        comparisons += len(
+            set(tracked_metrics(previous)) & set(tracked_metrics(latest)))
+        findings.extend(compare_entries(
+            previous, latest, tolerance=tolerance,
+            overhead_floor=overhead_floor))
+    return findings, comparisons
+
+
+def bless_latest(path: pathlib.Path, label: str) -> bool:
+    """Mark ``label``'s newest history entry in ``path`` as blessed.
+
+    Returns ``True`` if an entry was updated. Blessing records that the
+    latest measurement is a deliberate trade-off: the sentinel accepts
+    it and subsequent commits are compared against it instead.
+    """
+    data = _load(path)
+    history = data.get("history")
+    if not isinstance(history, list):
+        return False
+    for entry in reversed(history):
+        if isinstance(entry, dict) and entry.get("label") == label:
+            entry["blessed"] = True
+            path.write_text(json.dumps(data, indent=2) + "\n",
+                            encoding="utf-8")
+            return True
+    return False

@@ -33,6 +33,8 @@ import urllib.error
 import urllib.request
 from typing import Dict, Iterator, Optional
 
+from repro.obs import trace as obs_trace
+
 #: job statuses after which polling stops (matches jobs.TERMINAL_STATUSES)
 TERMINAL = ("done", "failed", "cancelled", "journaled")
 
@@ -156,9 +158,10 @@ class ServiceClient:
 
     def _json(self, method: str, path: str,
               payload: Optional[Dict[str, object]] = None,
+              headers: Optional[Dict[str, str]] = None,
               timeout: Optional[float] = None,
               retries: Optional[int] = None) -> Dict[str, object]:
-        with self._request(method, path, payload,
+        with self._request(method, path, payload, headers=headers,
                            timeout=timeout, retries=retries) as response:
             return json.loads(response.read().decode("utf-8"))
 
@@ -177,9 +180,38 @@ class ServiceClient:
         with self._request("GET", "/metrics") as response:
             return response.read().decode("utf-8")
 
-    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """POST a mapping request; returns the job view (maybe done)."""
-        return self._json("POST", "/v1/jobs", payload)["job"]
+    def profile(self, seconds: Optional[float] = None) -> str:
+        """``GET /v1/debug/profile`` -- collapsed-stack flame-graph text.
+
+        ``seconds`` samples a live window server-side (the request
+        blocks that long); ``None`` returns the cumulative table.
+        """
+        path = "/v1/debug/profile"
+        request_timeout = self.timeout
+        if seconds is not None:
+            path += f"?seconds={float(seconds)}"
+            request_timeout = self.timeout + float(seconds)
+        with self._request("GET", path,
+                           timeout=request_timeout) as response:
+            return response.read().decode("utf-8")
+
+    def submit(self, payload: Dict[str, object],
+               traceparent: Optional[str] = None) -> Dict[str, object]:
+        """POST a mapping request; returns the job view (maybe done).
+
+        Every submission carries a ``traceparent`` header: the given
+        one, or one minted from the calling thread's trace context (a
+        fresh trace id when there is none).  The server adopts the
+        trace id and echoes it back as ``job["trace_id"]``, so client
+        spans and the service's spans/events/log records correlate.
+        """
+        if traceparent is None:
+            trace_id = obs_trace.current_trace_id() or \
+                obs_trace.new_trace_id()
+            traceparent = obs_trace.format_traceparent(
+                trace_id, obs_trace.current_span_id())
+        return self._json("POST", "/v1/jobs", payload,
+                          headers={"traceparent": traceparent})["job"]
 
     def jobs(self) -> Dict[str, object]:
         return self._json("GET", "/v1/jobs")

@@ -57,7 +57,7 @@ from repro.core.engine import create_engine, normalize_engine
 from repro.experiments.batch import ARENA_IDENTICAL_BACKENDS
 from repro.experiments.runner import parse_size
 from repro.graphs.dfg import DFG
-from repro.obs import logjson, metrics
+from repro.obs import logjson, metrics, profiler
 from repro.obs import trace as obs_trace
 from repro.service import procpool
 from repro.service.store import ResultStore, content_key
@@ -377,6 +377,11 @@ class Job:
     id: str
     request: MapRequest
     key: str
+    #: distributed trace context: minted at submission (or adopted from
+    #: the client's ``traceparent`` header) and *stable across retries*,
+    #: so a crash-restart-retry sequence stays one trace
+    trace_id: str = ""
+    parent_span_id: int = 0
     status: str = JOB_QUEUED
     cache: str = "miss"
     created: float = field(default_factory=time.time)
@@ -404,6 +409,7 @@ class Job:
         view: Dict[str, object] = {
             "id": self.id,
             "key": self.key,
+            "trace_id": self.trace_id,
             "status": self.status,
             "cache": self.cache,
             "request": self.request.describe(),
@@ -478,6 +484,8 @@ class MappingService:
             procpool.DEFAULT_HEARTBEAT_TIMEOUT_SECONDS,
         hard_deadline_grace_seconds: float =
             DEFAULT_HARD_DEADLINE_GRACE_SECONDS,
+        profile_interval_seconds: float =
+            profiler.DEFAULT_INTERVAL_SECONDS,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -494,6 +502,9 @@ class MappingService:
         self.max_retries = max(int(max_retries), 0)
         self.heartbeat_timeout_seconds = heartbeat_timeout_seconds
         self.hard_deadline_grace_seconds = hard_deadline_grace_seconds
+        #: sampling period for the workers' continuous profiler
+        #: (0 disables sampling entirely)
+        self.profile_interval_seconds = max(profile_interval_seconds, 0.0)
         self._degraded = False
         self._draining = threading.Event()
         # per-job tracing: enabling the tracer here makes every worker's
@@ -575,8 +586,11 @@ class MappingService:
                 })
 
     def _append_event(self, job: Job, payload: Dict[str, object]) -> None:
+        # every streamed NDJSON event carries the job's trace id; replayed
+        # cache-hit events are re-stamped with the *new* job's context
         with job.cond:
-            job.events.append(dict(payload, ts=round(self._now(), 3)))
+            job.events.append(dict(payload, ts=round(self._now(), 3),
+                                   trace_id=job.trace_id))
             job.cond.notify_all()
 
     def _finish(self, job: Job, status: str,
@@ -593,7 +607,8 @@ class MappingService:
             job.result = result
             job.error = error
             job.finished = self._now()
-            job.events.append(dict(final_event, ts=round(job.finished, 3)))
+            job.events.append(dict(final_event, ts=round(job.finished, 3),
+                                   trace_id=job.trace_id))
             job.cond.notify_all()
         metrics.inc("repro_service_jobs_total",
                     status="hit" if job.cache == "hit" else status)
@@ -607,10 +622,17 @@ class MappingService:
             error=error,
             ii=result.get("ii") if result else None,
             trace=job.id if self.trace_dir is not None else None,
+            trace_id=job.trace_id or None,
         )
 
-    def submit(self, payload: Dict[str, object]) -> Job:
+    def submit(self, payload: Dict[str, object],
+               traceparent: Optional[str] = None) -> Job:
         """Validate, answer from the store if possible, else enqueue.
+
+        ``traceparent`` is the client's W3C-style trace context header,
+        if one arrived: its trace id is adopted for the job (a malformed
+        or absent header mints a fresh one), so client-side spans and
+        everything the service records share one ``trace_id``.
 
         Raises :class:`ServiceUnavailable` while the service drains --
         the HTTP layer answers 503 with a ``Retry-After`` so well-behaved
@@ -620,6 +642,9 @@ class MappingService:
             raise ServiceUnavailable(
                 "service is draining; not accepting new jobs")
         handler_started = time.monotonic()
+        context = obs_trace.parse_traceparent(traceparent)
+        trace_id, parent_span = context if context else \
+            (obs_trace.new_trace_id(), 0)
         request = MapRequest.from_payload(
             payload,
             default_budget_seconds=self.default_budget_seconds,
@@ -629,6 +654,7 @@ class MappingService:
         with self._lock:
             self._seq += 1
             job = Job(id=f"j{self._seq:06d}", request=request, key=key,
+                      trace_id=trace_id, parent_span_id=parent_span,
                       payload=dict(payload),
                       effective_backend=request.solver_backend)
             self.jobs[job.id] = job
@@ -638,17 +664,20 @@ class MappingService:
             # with the job id so the per-job export captures it (the span
             # is synthesized *before* the job can finish, so the export
             # never races it)
-            obs_trace.push_trace(job.id)
+            obs_trace.push_trace(job.id, job.trace_id)
             obs_trace.add_complete(
                 "http.handler", handler_started,
                 time.monotonic() - handler_started,
                 parent=0, route="POST /v1/jobs", job=job.id,
+                **({"remote_parent": "%016x" % parent_span}
+                   if parent_span else {}),
             )
             obs_trace.pop_trace()
         logjson.log(
             "request",
             job=job.id,
             key=key,
+            trace_id=job.trace_id,
             approach=request.approach,
             source=request.source_kind,
             cgra=request.cgra_size,
@@ -727,7 +756,8 @@ class MappingService:
                 if worker is None:
                     worker = procpool.ProcessWorker(
                         index,
-                        heartbeat_timeout=self.heartbeat_timeout_seconds)
+                        heartbeat_timeout=self.heartbeat_timeout_seconds,
+                        profile_interval=self.profile_interval_seconds)
                 self._run_job(job, index, fabric_cache, worker=worker)
             else:
                 self._run_job(job, index, fabric_cache)
@@ -751,10 +781,12 @@ class MappingService:
                  fabric_cache: Dict[str, CGRA],
                  worker: Optional[procpool.ProcessWorker] = None) -> None:
         tracing = self.trace_dir is not None
-        if tracing:
-            # every span this worker thread opens while the job runs --
-            # including the engine's own -- is tagged with the job id
-            obs_trace.push_trace(job.id)
+        # the label/trace-id frame is pushed even when span recording is
+        # off: run-log records written anywhere under this job (engine
+        # hooks, store warnings -- including the in-thread degraded
+        # path, whose records used to lack any job correlation) pick up
+        # the job id and trace id from the thread's context
+        obs_trace.push_trace(job.id, job.trace_id)
         try:
             with obs_trace.span("worker.run", job=job.id,
                                 worker=worker_index) as run_span:
@@ -765,8 +797,8 @@ class MappingService:
                 else:
                     self._run_job_impl(job, worker_index, fabric_cache)
         finally:
+            obs_trace.pop_trace()
             if tracing:
-                obs_trace.pop_trace()
                 self._export_trace(job)
 
     # ------------------------------------------------------------------ #
@@ -794,9 +826,9 @@ class MappingService:
             "exit": crash.describe(),
             "detail": crash.detail,
         })
-        logjson.log("worker_crash", job=job.id, reason=crash.reason,
-                    attempt=attempt, exit=crash.describe(),
-                    detail=crash.detail)
+        logjson.log("worker_crash", job=job.id, trace_id=job.trace_id or None,
+                    reason=crash.reason, attempt=attempt,
+                    exit=crash.describe(), detail=crash.detail)
         if crash.reason == "hard_timeout":
             # the engine's own budget enforcement failed; a retry would
             # burn another full budget the same way
@@ -891,9 +923,12 @@ class MappingService:
                 "seed": request.seed,
                 "budget_seconds": request.budget_seconds,
                 "traced": traced,
+                # the same trace id rides every attempt, so a retry after
+                # a crash re-parents under the job's one trace
+                "trace_id": job.trace_id,
             }
             try:
-                record, snap = worker.run(
+                record, snap, child_logs, child_metrics = worker.run(
                     spec,
                     on_event=on_event,
                     deadline_seconds=(request.budget_seconds
@@ -916,9 +951,21 @@ class MappingService:
                 if not self._handle_crash(job, crash, attempt):
                     return
                 continue
+            # fold the child's per-job registry delta in, so /metrics
+            # carries the engine-side series (latency histograms, run
+            # counters) that execute inside the worker process
+            metrics.merge_dump(child_metrics)
             if traced:
                 obs_trace.ingest(snap, parent_span_id=parent_span_id,
-                                 trace=job.id)
+                                 trace=job.id, trace_id=job.trace_id)
+            # the child never writes the run log (it would share the
+            # parent's file offset); its captured records -- engine_run
+            # above all -- land here, re-stamped with the job's ids
+            for child_record in child_logs:
+                if isinstance(child_record, dict):
+                    logjson.emit(dict(child_record, job=job.id,
+                                      trace=job.id,
+                                      trace_id=job.trace_id or None))
             with self._lock:
                 self.counters["engine_runs"] += 1
             # only the surviving attempt's improvements belong to the
@@ -1053,6 +1100,12 @@ class MappingService:
             "queued": self._queue.qsize(),
             "jobs": by_status,
             "counters": counters,
+            "observability": {
+                "trace_dropped_spans": obs_trace.dropped(),
+                "profile_sampling": profiler.running()
+                or self.profile_interval_seconds > 0,
+                "profile_stacks": len(profiler.cumulative()),
+            },
             "store": self.store.stats() if self.store is not None else None,
         }
 

@@ -31,9 +31,16 @@ Wire protocol (pickled tuples over one duplex pipe):
 
 * parent -> child: ``("job", spec)`` and ``("stop",)``;
 * child -> parent: ``("hb",)`` heartbeats, ``("event", payload)``
-  engine/lifecycle events, ``("done", record, trace_snapshot)`` and
-  ``("failed", message)`` -- an engine *exception* is a failed job on a
-  healthy worker, never a crash.
+  engine/lifecycle events, ``("prof", counts)`` sampling-profiler
+  folded-stack deltas (shipped by the heartbeat thread while a job
+  burns CPU), ``("done", record, trace_snapshot, log_records,
+  metric_dump)`` and ``("failed", message)`` -- an engine *exception*
+  is a failed job on a healthy worker, never a crash.
+
+The job spec carries the job's distributed trace context
+(``trace_id``); the child pushes it before running the engine so every
+span it records and every captured run-log record joins the request's
+trace when the parent ingests them.
 
 The fault-injection hooks (:mod:`repro.service.faults`) fire only in the
 child, which marks itself via :func:`faults.mark_worker_process`.
@@ -47,6 +54,7 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.workers import describe_exit, reap
+from repro.obs import logjson, metrics, profiler
 from repro.obs import trace as obs_trace
 from repro.service import faults
 
@@ -58,6 +66,9 @@ DEFAULT_HEARTBEAT_TIMEOUT_SECONDS = 30.0
 
 #: patience when stopping a worker gracefully
 STOP_GRACE_SECONDS = 2.0
+
+#: minimum spacing between a child's ("prof", ...) shipments
+PROFILE_SHIP_INTERVAL_SECONDS = 1.0
 
 
 class WorkerCrash(Exception):
@@ -98,7 +109,8 @@ def _child_send(connection, lock: threading.Lock, message: Tuple) -> bool:
         return False  # parent gone; the job loop will exit on recv EOF
 
 
-def _child_main(connection, index: int, heartbeat_interval: float) -> None:
+def _child_main(connection, index: int, heartbeat_interval: float,
+                profile_interval: float = 0.0) -> None:
     """Worker child entry point: the persistent job loop."""
     import signal
 
@@ -110,15 +122,42 @@ def _child_main(connection, index: int, heartbeat_interval: float) -> None:
         except (OSError, ValueError):  # pragma: no cover - non-main thread
             pass
     faults.mark_worker_process()
+    # continuous profiling: SIGPROF ticks only while this child burns
+    # CPU, so an idle worker costs nothing; sample deltas ship back on
+    # the heartbeat thread below
+    if profile_interval > 0:
+        profiler.start(profile_interval)
     send_lock = threading.Lock()
     working = threading.Event()
     done = threading.Event()
 
+    prof_lock = threading.Lock()
+    prof_last: Dict[str, int] = {}
+
+    def ship_prof() -> None:
+        # deltas only ship while a job is in flight: that is when the
+        # parent is actively draining the pipe (between jobs nobody
+        # recvs and messages would pile up in the pipe buffer)
+        if not profiler.running():
+            return
+        with prof_lock:
+            counts = profiler.local_counts()
+            delta = profiler.window(prof_last, counts)
+            if delta and _child_send(connection, send_lock,
+                                     ("prof", delta)):
+                prof_last.clear()
+                prof_last.update(counts)
+
     def beat() -> None:
+        last_ship = time.monotonic()
         while not done.is_set():
             if working.is_set() and not faults.stalled():
                 if not _child_send(connection, send_lock, ("hb",)):
                     return
+                now = time.monotonic()
+                if now - last_ship >= PROFILE_SHIP_INTERVAL_SECONDS:
+                    ship_prof()
+                    last_ship = now
             time.sleep(heartbeat_interval)
 
     beater = threading.Thread(target=beat, name="procpool-heartbeat",
@@ -141,12 +180,16 @@ def _child_main(connection, index: int, heartbeat_interval: float) -> None:
             spec = message[1]
             working.set()
             try:
-                record, snapshot = _execute(spec, fabric_cache,
-                                            lambda m: _child_send(
-                                                connection, send_lock, m))
+                record, snapshot, log_records, metric_dump = _execute(
+                    spec, fabric_cache,
+                    lambda m: _child_send(connection, send_lock, m))
+                ship_prof()  # the tail of this job's samples
                 _child_send(connection, send_lock,
-                            ("done", record, snapshot))
+                            ("done", record, snapshot, log_records,
+                             metric_dump))
             except BaseException as exc:  # noqa: BLE001 - report, parent decides
+                logjson.capture_end()  # discard the aborted run's capture
+                obs_trace.pop_trace()
                 _child_send(connection, send_lock, ("failed", repr(exc)))
             finally:
                 working.clear()
@@ -161,7 +204,14 @@ def _child_main(connection, index: int, heartbeat_interval: float) -> None:
 
 def _execute(spec: Dict[str, object], fabric_cache: Dict[str, object],
              send: Callable[[Tuple], bool]):
-    """Run one job spec in this child; returns ``(record, snapshot)``."""
+    """Run one job spec in this child.
+
+    Returns ``(record, snapshot, log_records, metric_dump)`` -- the
+    flattened result, the child's trace snapshot (or ``None``), the
+    run-log records captured during the run (the child never writes the
+    log file; the parent does, after re-stamping the job's ids), and
+    the per-job metrics-registry delta for the parent to fold in.
+    """
     # jobs.py imports this module; resolve the cycle at call time
     from repro.core.engine import create_engine
     from repro.service.jobs import MapRequest, result_record
@@ -178,6 +228,15 @@ def _execute(spec: Dict[str, object], fabric_cache: Dict[str, object],
         # worker.run span on ingest
         obs_trace.reset()
         obs_trace.enable()
+    # the job's distributed trace context: every span and captured log
+    # record this child produces joins the request's trace, across
+    # retries (the parent sends the same trace_id on every attempt)
+    obs_trace.push_trace(str(spec.get("job") or ""),
+                         str(spec.get("trace_id") or ""))
+    logjson.capture_begin()
+    # per-job metric delta: cleared here, dumped with the result, folded
+    # into the parent registry so /metrics carries engine-side series
+    metrics.reset()
 
     request = MapRequest.from_payload(
         spec["payload"],
@@ -248,7 +307,9 @@ def _execute(spec: Dict[str, object], fabric_cache: Dict[str, object],
     # its timestamped copies to the record before storing it
     record = result_record(result, engine_seconds, [])
     snapshot = obs_trace.snapshot() if traced else None
-    return record, snapshot
+    log_records = logjson.capture_end()
+    obs_trace.pop_trace()  # the persistent child reuses this thread
+    return record, snapshot, log_records, metrics.dump()
 
 
 # --------------------------------------------------------------------- #
@@ -262,6 +323,7 @@ class ProcessWorker:
         index: int,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT_SECONDS,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL_SECONDS,
+        profile_interval: float = 0.0,
         context=None,
     ) -> None:
         import multiprocessing
@@ -269,6 +331,7 @@ class ProcessWorker:
         self.index = index
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_interval = heartbeat_interval
+        self.profile_interval = profile_interval
         self._context = context or multiprocessing.get_context()
         self._process = None
         self._connection = None
@@ -302,7 +365,8 @@ class ProcessWorker:
         # children exit on their own when the pipe reports EOF
         process = self._context.Process(
             target=_child_main,
-            args=(child_conn, self.index, self.heartbeat_interval),
+            args=(child_conn, self.index, self.heartbeat_interval,
+                  self.profile_interval),
             name=f"repro-serve-procworker-{self.index}",
             daemon=False,
         )
@@ -329,10 +393,11 @@ class ProcessWorker:
         deadline_seconds: float = 60.0,
         cancelled: Optional[Callable[[], bool]] = None,
     ):
-        """Run one job in the child; returns ``(record, snapshot)``.
+        """Run one job in the child.
 
-        Raises :class:`WorkerCrash` (child died / stalled / overran the
-        hard deadline -- the child is already reaped),
+        Returns ``(record, snapshot, log_records, metric_dump)``.  Raises
+        :class:`WorkerCrash` (child died / stalled / overran the hard
+        deadline -- the child is already reaped),
         :class:`WorkerJobError` (engine exception on a healthy child) or
         :class:`WorkerCancelled` (``cancelled()`` went true; the child
         was killed to stop the job).
@@ -366,8 +431,19 @@ class ProcessWorker:
                 if kind == "event":
                     if on_event is not None:
                         on_event(message[1])
+                elif kind == "prof":
+                    # folded-stack sample delta from the child's
+                    # continuous profiler; fold into this process's
+                    # merged aggregate (served by /v1/debug/profile)
+                    merged = profiler.merge(message[1])
+                    if merged:
+                        metrics.inc("repro_profile_samples_total",
+                                    float(merged))
                 elif kind == "done":
-                    return message[1], message[2]
+                    record, snapshot = message[1], message[2]
+                    log_records = message[3] if len(message) > 3 else []
+                    metric_dump = message[4] if len(message) > 4 else None
+                    return record, snapshot, log_records, metric_dump
                 elif kind == "failed":
                     raise WorkerJobError(str(message[1]))
                 # "hb" and anything unknown: liveness only

@@ -18,6 +18,12 @@ Routes::
     GET    /v1/jobs/<id>/events  NDJSON event stream (``?from=N`` resumes)
     DELETE /v1/jobs/<id>         request cancellation
     GET    /v1/store/stats       result-store shard statistics
+    GET    /v1/debug/profile     collapsed-stack flame-graph text
+                                 (``?seconds=N`` samples a live window)
+
+Submissions may carry a W3C-style ``traceparent`` header; its trace id
+is adopted as the job's distributed trace id (see docs/observability.md)
+and echoed back in the job view.
 
 Errors are always ``{"error": {"code": ..., "message": ...}}`` with the
 matching HTTP status (400 ``bad_request``, 404 ``not_found``,
@@ -29,11 +35,12 @@ on submissions).
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.obs import logjson, metrics
+from repro.obs import logjson, metrics, profiler
 from repro.service.jobs import (
     MappingService,
     RequestError,
@@ -43,6 +50,10 @@ from repro.service.jobs import (
 #: bound on accepted request bodies; a kernel or DFG payload is small,
 #: anything bigger is a mistake or abuse
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: longest live sampling window /v1/debug/profile will hold a handler
+#: thread open for
+MAX_PROFILE_WINDOW_SECONDS = 30.0
 
 
 def _engine_listing() -> Dict[str, object]:
@@ -141,6 +152,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return "engines", None, None, query
         if rest == ["store", "stats"]:
             return "store_stats", None, None, query
+        if rest == ["debug", "profile"]:
+            return "debug_profile", None, None, query
         return "", None, None, query
 
     def _send_metrics(self) -> None:
@@ -166,6 +179,39 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_profile(self, query: Dict[str, list]) -> None:
+        """``GET /v1/debug/profile``: collapsed-stack flame-graph text.
+
+        ``?seconds=N`` samples a live window: the handler thread snapshots
+        the merged sample table, sleeps ``N`` seconds (capped), and
+        returns only the stacks that accrued in between -- "where is CPU
+        time going *right now*".  Without ``seconds`` the cumulative
+        table since daemon start is returned.
+        """
+        seconds = 0.0
+        if "seconds" in query:
+            try:
+                seconds = float(query["seconds"][0])
+            except (ValueError, IndexError) as exc:
+                raise RequestError("'seconds' must be a number") from exc
+            if seconds < 0:
+                raise RequestError("'seconds' must be >= 0")
+            seconds = min(seconds, MAX_PROFILE_WINDOW_SECONDS)
+        if seconds:
+            before = profiler.cumulative()
+            time.sleep(seconds)
+            counts = profiler.window(before, profiler.cumulative())
+        else:
+            counts = profiler.cumulative()
+        body = profiler.render(counts).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Profile-Interval-Seconds",
+                         repr(profiler.interval()))
+        self.end_headers()
+        self.wfile.write(body)
+
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
@@ -182,6 +228,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 store = self.service.store
                 self._send_json(200, {
                     "store": store.stats() if store is not None else None})
+            elif collection == "debug_profile":
+                self._send_profile(query)
             elif collection == "jobs" and job_id is None:
                 jobs = [job.view(include_result=False)
                         for job in self.service.jobs.values()]
@@ -213,7 +261,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                                       f"no such resource: {self.path}")
                 return
             payload = self._read_body()
-            job = self.service.submit(payload)
+            job = self.service.submit(
+                payload, traceparent=self.headers.get("traceparent"))
             # a store hit completes synchronously: answer 200 with the
             # full result; a miss is queued work, answer 202 Accepted
             if job.status == "done":

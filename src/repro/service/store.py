@@ -46,6 +46,7 @@ import os
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.obs import logjson, metrics
+from repro.obs import trace as obs_trace
 
 #: truncated-digest length; 96 bits of SHA-256 -- collision-safe for any
 #: realistic store size while keeping keys short enough to read in logs
@@ -170,6 +171,8 @@ class ResultStore:
                     skipped_lines=self._skipped_lines,
                     header_lines=self._header_lines,
                     message="skipped malformed store lines during load",
+                    job=obs_trace.current_trace() or None,
+                    trace_id=obs_trace.current_trace_id() or None,
                 )
         return self._index
 

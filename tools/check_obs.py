@@ -22,6 +22,16 @@ scrape at the daemon:
   and at least ``--min-names`` distinct families are typed (the daemon
   advertises its full inventory up front).
 
+* ``--propagation`` -- distributed-trace correlation invariants across
+  every ``--trace`` and ``--ndjson`` file given: each span/event that
+  carries a ``trace_id`` carries the *same* one (one remote map = one
+  trace id end to end, including across a crash + retry), at least one
+  id is present at all, and parent ids still resolve -- which holds
+  across process boundaries precisely because worker-child spans are
+  re-rooted under the parent's ``worker.run`` span on ingest.
+  ``--ndjson FILE`` adds a JSON-lines file (a job's NDJSON event stream,
+  or a ``--log-json`` run log filtered to one job) to the same check.
+
 Exit status 0 when clean; 1 with one line per finding otherwise. The
 tier-1 suite exercises the same invariants through ``tests/test_obs.py``.
 """
@@ -156,6 +166,72 @@ def check_metrics(path: str, min_names: int) -> List[str]:
     return findings
 
 
+def check_propagation(trace_paths: List[str],
+                      ndjson_paths: List[str]) -> List[str]:
+    """One-trace-id-everywhere invariants across all given files."""
+    findings: List[str] = []
+    ids = {}  # trace_id -> first place it was seen
+
+    for path in trace_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            findings.append(f"{path}: unreadable trace: {exc}")
+            continue
+        events = doc.get("traceEvents") if isinstance(doc, dict) else None
+        if not isinstance(events, list):
+            findings.append(f"{path}: not a Chrome trace")
+            continue
+        stamped = 0
+        for index, event in enumerate(events):
+            if not isinstance(event, dict) or event.get("ph") == "M":
+                continue
+            trace_id = (event.get("args") or {}).get("trace_id")
+            if not trace_id:
+                continue
+            stamped += 1
+            ids.setdefault(trace_id, f"{path}: traceEvents[{index}]")
+        if not stamped:
+            findings.append(
+                f"{path}: no span carries a trace_id (distributed "
+                f"trace context was never propagated)")
+
+    for path in ndjson_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            findings.append(f"{path}: unreadable ndjson: {exc}")
+            continue
+        stamped = 0
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                findings.append(f"{path}:{number}: not valid JSON")
+                continue
+            trace_id = record.get("trace_id") \
+                if isinstance(record, dict) else None
+            if not trace_id:
+                continue
+            stamped += 1
+            ids.setdefault(trace_id, f"{path}:{number}")
+        if not stamped:
+            findings.append(
+                f"{path}: no record carries a trace_id")
+
+    if len(ids) > 1:
+        where = "; ".join(f"{tid} first at {place}"
+                          for tid, place in sorted(ids.items()))
+        findings.append(
+            f"propagation: {len(ids)} distinct trace ids across the "
+            f"given files, expected exactly one ({where})")
+    return findings
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", action="append", default=[],
@@ -170,21 +246,34 @@ def main(argv: List[str]) -> int:
                         help="Prometheus exposition file(s) to validate")
     parser.add_argument("--min-names", type=int, default=12,
                         help="minimum typed metric families per exposition")
+    parser.add_argument("--propagation", action="store_true",
+                        help="additionally assert one shared trace_id "
+                             "across every --trace and --ndjson file, "
+                             "with parent ids resolving")
+    parser.add_argument("--ndjson", action="append", default=[],
+                        metavar="FILE",
+                        help="JSON-lines file (job event stream or run "
+                             "log) included in the --propagation check")
     args = parser.parse_args(argv)
-    if not args.trace and not args.metrics:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.ndjson:
+        parser.error("nothing to check: pass --trace, --metrics and/or "
+                     "--ndjson")
+    if args.ndjson and not args.propagation:
+        parser.error("--ndjson only participates in --propagation")
 
     findings: List[str] = []
     for path in args.trace:
         findings.extend(check_trace(path, args.require_span))
     for path in args.metrics:
         findings.extend(check_metrics(path, args.min_names))
+    if args.propagation:
+        findings.extend(check_propagation(args.trace, args.ndjson))
     for finding in findings:
         print(finding)
     if findings:
         print(f"{len(findings)} finding(s)")
         return 1
-    checked = len(args.trace) + len(args.metrics)
+    checked = len(args.trace) + len(args.metrics) + len(args.ndjson)
     print(f"observability artifacts ok ({checked} file(s) checked)")
     return 0
 
